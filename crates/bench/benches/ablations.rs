@@ -1,0 +1,102 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * `ablation_margin` — the ℓ+1 margin (second practical configuration):
+//!   ring-size and time cost of buying Theorem 6.4's immutability
+//!   guarantee.
+//! * `ablation_game_init` — Algorithm 5's coverage-greedy initialisation
+//!   vs starting from all modules selected.
+//! * `ablation_config1` — Theorem 6.1's polynomial DTRS verification vs
+//!   exact DTRS enumeration (Algorithm 3) on small instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dams_core::{
+    dtrs_diverse_fast, game_theoretic_from, progressive, InitStrategy, SelectionPolicy,
+};
+use dams_diversity::{
+    enumerate_combinations, enumerate_dtrs, DiversityRequirement, HtHistogram, RingIndex, RsId,
+    TokenId,
+};
+use dams_workload::SyntheticConfig;
+
+fn bench_margin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_margin");
+    group.sample_size(10);
+    let cfg = SyntheticConfig::default();
+    let mut rng = StdRng::seed_from_u64(21);
+    let instance = cfg.generate(&mut rng);
+    let req = DiversityRequirement::new(0.6, 20);
+    for (label, policy) in [
+        ("plain", SelectionPolicy::new(req)),
+        ("with_margin", SelectionPolicy::with_margin(req)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("progressive", label), &label, |b, _| {
+            let mut inner = StdRng::seed_from_u64(22);
+            b.iter(|| {
+                let t = TokenId(inner.gen_range(0..instance.universe.len() as u32));
+                let _ = progressive(&instance, t, policy);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_game_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_game_init");
+    group.sample_size(10);
+    let cfg = SyntheticConfig::default();
+    let mut rng = StdRng::seed_from_u64(23);
+    let instance = cfg.generate(&mut rng);
+    let policy = SelectionPolicy::new(DiversityRequirement::new(0.6, 20));
+    for (label, init) in [
+        ("coverage_greedy", InitStrategy::CoverageGreedy),
+        ("all_selected", InitStrategy::AllSelected),
+    ] {
+        group.bench_with_input(BenchmarkId::new("game", label), &label, |b, _| {
+            let mut inner = StdRng::seed_from_u64(24);
+            b.iter(|| {
+                let t = TokenId(inner.gen_range(0..instance.universe.len() as u32));
+                let _ = game_theoretic_from(&instance, t, policy, init);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_config1_dtrs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_config1_dtrs_check");
+    group.sample_size(10);
+    // Nested-ring motif scaled: k earlier rings inside one super ring.
+    for k in [2usize, 3, 4] {
+        // tokens 0..k+2: ring_i = {0..=i+1}, super ring = {0..k+1}.
+        let rings: Vec<dams_diversity::RingSet> = (0..=k)
+            .map(|i| dams_diversity::RingSet::new((0..(i + 2) as u32).map(TokenId)))
+            .collect();
+        let universe = dams_diversity::TokenUniverse::new(
+            (0..(k + 2) as u32).map(dams_diversity::HtId).collect(),
+        );
+        let idx = RingIndex::from_rings(rings);
+        let super_id = RsId(k as u32);
+        let req = DiversityRequirement::new(1.0, 1);
+
+        group.bench_with_input(BenchmarkId::new("fast_thm61", k), &k, |b, _| {
+            b.iter(|| dtrs_diverse_fast(idx.ring(super_id), &universe, k + 1, req))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_alg3", k), &k, |b, _| {
+            let all: Vec<RsId> = idx.ids().collect();
+            b.iter(|| {
+                let combos = enumerate_combinations(&idx, &all);
+                let dtrs = enumerate_dtrs(&combos, &all, k, &universe);
+                dtrs.iter().all(|d| {
+                    req.satisfied_by(&HtHistogram::from_tokens(&d.tokens(), &universe))
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_margin, bench_game_init, bench_config1_dtrs);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figures 5 and 6: real-data sweeps — effect of c (Fig 5) and ℓ (Fig 6)
+//! on RS size and selection time for the four approaches.
+//!
+//! Criterion measures the *time* curves; the size curves come from the
+//! `paper-experiments` binary (sizes are deterministic statistics, not
+//! timings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dams_core::{PracticalAlgorithm, SelectionPolicy, TokenMagic};
+use dams_diversity::{DiversityRequirement, TokenId};
+use dams_workload::monero_snapshot;
+
+const APPROACHES: [PracticalAlgorithm; 4] = [
+    PracticalAlgorithm::Smallest,
+    PracticalAlgorithm::Random,
+    PracticalAlgorithm::Progressive,
+    PracticalAlgorithm::GameTheoretic,
+];
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_effect_of_c_real");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    let instance = monero_snapshot(&mut rng);
+    for c_tau in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let policy = SelectionPolicy::new(DiversityRequirement::new(c_tau, 40));
+        for alg in APPROACHES {
+            let tm = TokenMagic::new(alg, policy);
+            group.bench_with_input(
+                BenchmarkId::new(alg.label(), format!("c={c_tau}")),
+                &c_tau,
+                |b, _| {
+                    let mut inner = StdRng::seed_from_u64(55);
+                    b.iter(|| {
+                        let t = TokenId(inner.gen_range(0..instance.universe.len() as u32));
+                        let _ = tm.select_for(&instance, t, &mut inner);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_effect_of_l_real");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(6);
+    let instance = monero_snapshot(&mut rng);
+    for l_tau in [20usize, 30, 40, 50, 60] {
+        let policy = SelectionPolicy::new(DiversityRequirement::new(0.6, l_tau));
+        for alg in APPROACHES {
+            let tm = TokenMagic::new(alg, policy);
+            group.bench_with_input(
+                BenchmarkId::new(alg.label(), format!("l={l_tau}")),
+                &l_tau,
+                |b, _| {
+                    let mut inner = StdRng::seed_from_u64(66);
+                    b.iter(|| {
+                        let t = TokenId(inner.gen_range(0..instance.universe.len() as u32));
+                        let _ = tm.select_for(&instance, t, &mut inner);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Figures 7–10: synthetic sweeps — effect of σ (Fig 7), |S| (Fig 8),
+//! |s_i| (Fig 9), and |F| (Fig 10) on selection time for the four
+//! approaches. Size curves come from `paper-experiments`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dams_core::{ModularInstance, PracticalAlgorithm, SelectionPolicy, TokenMagic};
+use dams_diversity::{DiversityRequirement, TokenId};
+use dams_workload::SyntheticConfig;
+
+const APPROACHES: [PracticalAlgorithm; 4] = [
+    PracticalAlgorithm::Smallest,
+    PracticalAlgorithm::Random,
+    PracticalAlgorithm::Progressive,
+    PracticalAlgorithm::GameTheoretic,
+];
+
+fn policy() -> SelectionPolicy {
+    SelectionPolicy::new(DiversityRequirement::new(0.6, 20))
+}
+
+fn bench_sweep(
+    c: &mut Criterion,
+    group_name: &str,
+    configs: Vec<(String, SyntheticConfig)>,
+    seed: u64,
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for (label, cfg) in configs {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance: ModularInstance = cfg.generate(&mut rng);
+        for alg in APPROACHES {
+            let tm = TokenMagic::new(alg, policy());
+            group.bench_with_input(BenchmarkId::new(alg.label(), &label), &label, |b, _| {
+                let mut inner = StdRng::seed_from_u64(seed ^ 0xABCD);
+                b.iter(|| {
+                    let t = TokenId(inner.gen_range(0..instance.universe.len() as u32));
+                    let _ = tm.select_for(&instance, t, &mut inner);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig7_sigma(c: &mut Criterion) {
+    bench_sweep(
+        c,
+        "fig7_effect_of_sigma",
+        [8.0, 10.0, 12.0, 14.0, 16.0]
+            .iter()
+            .map(|&sigma| {
+                (
+                    format!("sigma={sigma}"),
+                    SyntheticConfig {
+                        sigma,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect(),
+        7,
+    );
+}
+
+fn bench_fig8_num_super(c: &mut Criterion) {
+    bench_sweep(
+        c,
+        "fig8_effect_of_num_super",
+        [10usize, 30, 50, 70, 90]
+            .iter()
+            .map(|&num_super| {
+                (
+                    format!("S={num_super}"),
+                    SyntheticConfig {
+                        num_super,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect(),
+        8,
+    );
+}
+
+fn bench_fig9_super_size(c: &mut Criterion) {
+    bench_sweep(
+        c,
+        "fig9_effect_of_super_size",
+        [(1usize, 10usize), (5, 15), (10, 20), (15, 25), (20, 30)]
+            .iter()
+            .map(|&super_size| {
+                (
+                    format!("s=[{},{}]", super_size.0, super_size.1),
+                    SyntheticConfig {
+                        super_size,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect(),
+        9,
+    );
+}
+
+fn bench_fig10_fresh(c: &mut Criterion) {
+    bench_sweep(
+        c,
+        "fig10_effect_of_fresh",
+        [0usize, 5, 10, 15, 20]
+            .iter()
+            .map(|&num_fresh| {
+                (
+                    format!("F={num_fresh}"),
+                    SyntheticConfig {
+                        num_fresh,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect(),
+        10,
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_fig7_sigma,
+    bench_fig8_num_super,
+    bench_fig9_super_size,
+    bench_fig10_fresh
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Substrate benches beyond the paper's figures:
+//!
+//! * `adversary_scaling` — the matching-based chain-reaction analyzer
+//!   across batch sizes (the auditor's cost; polynomial by construction,
+//!   unlike the #P world enumeration it replaces);
+//! * `verify_throughput` — Step-3 transaction verification (the only cost
+//!   the paper says affects chain throughput) across ring sizes;
+//! * `batch_build` — TokenMagic batch-list construction across chain
+//!   lengths (the §4 consensus object).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dams_blockchain::{Amount, BatchList, Chain, NoConfiguration, RingInput, TokenOutput, Transaction};
+use dams_crypto::{KeyPair, SchnorrGroup};
+use dams_diversity::{analyze, RingIndex, RingSet, TokenId};
+
+fn bench_adversary_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_scaling");
+    group.sample_size(10);
+    for rings in [50usize, 200, 800] {
+        // Overlapping 11-token rings over a 6x-sized token pool.
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = rings as u32 * 6;
+        let index = RingIndex::from_rings((0..rings).map(|_| {
+            RingSet::new((0..11).map(|_| TokenId(rng.gen_range(0..pool))))
+        }));
+        group.bench_with_input(BenchmarkId::new("rings", rings), &rings, |b, _| {
+            b.iter(|| analyze(&index, &[]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_throughput");
+    group.sample_size(10);
+    let grp = SchnorrGroup::default();
+    for ring_size in [2usize, 11, 32] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut chain = Chain::new(grp);
+        let keys: Vec<KeyPair> = (0..ring_size)
+            .map(|_| KeyPair::generate(chain.group(), &mut rng))
+            .collect();
+        chain.submit_coinbase(
+            keys.iter()
+                .map(|k| TokenOutput {
+                    owner: k.public,
+                    amount: Amount(1),
+                })
+                .collect(),
+        );
+        chain.seal_block();
+        let outputs = vec![TokenOutput {
+            owner: keys[0].public,
+            amount: Amount(1),
+        }];
+        let shell = Transaction {
+            inputs: vec![],
+            outputs: outputs.clone(),
+            memo: vec![],
+        };
+        let payload = shell.signing_payload();
+        let ring_keys: Vec<_> = keys.iter().map(|k| k.public).collect();
+        let sig = dams_crypto::sign(chain.group(), &payload, &ring_keys, &keys[0], &mut rng)
+            .expect("signer in ring");
+        let tx = Transaction {
+            inputs: vec![RingInput {
+                ring: (0..ring_size as u64).map(dams_blockchain::TokenId).collect(),
+                signature: sig,
+                claimed_c: 0.6,
+                claimed_l: 2,
+            }],
+            outputs,
+            memo: vec![],
+        };
+        group.bench_with_input(
+            BenchmarkId::new("ring_size", ring_size),
+            &ring_size,
+            |b, _| b.iter(|| chain.verify_transaction(&tx, &NoConfiguration)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_build");
+    group.sample_size(10);
+    for blocks in [32usize, 128, 512] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut chain = Chain::new(SchnorrGroup::default());
+        for _ in 0..blocks {
+            let outs: Vec<TokenOutput> = (0..4)
+                .map(|_| TokenOutput {
+                    owner: KeyPair::generate(chain.group(), &mut rng).public,
+                    amount: Amount(1),
+                })
+                .collect();
+            chain.submit_coinbase(outs);
+            chain.seal_block();
+        }
+        group.bench_with_input(BenchmarkId::new("blocks", blocks), &blocks, |b, _| {
+            b.iter(|| BatchList::build(&chain, 64))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_adversary_scaling,
+    bench_verify_throughput,
+    bench_batch_build
+);
+criterion_main!(benches);

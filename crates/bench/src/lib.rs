@@ -1,0 +1,8 @@
+//! # dams-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§7). See `src/bin/paper_experiments.rs` for the CLI and
+//! `benches/` for the Criterion targets.
+
+pub mod harness;
+pub mod series;

@@ -1,0 +1,111 @@
+//! Blocks: hash-chained containers of committed transactions.
+
+use dams_crypto::sha256::{sha256_parts, Digest};
+
+use crate::transaction::CommittedTransaction;
+use crate::types::{BlockHeight, Timestamp};
+
+/// A block header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    pub height: BlockHeight,
+    pub prev_hash: Digest,
+    /// Digest over the block's transaction ids and key images.
+    pub content_hash: Digest,
+    pub timestamp: Timestamp,
+}
+
+/// A block: header plus the transactions it commits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    pub header: BlockHeader,
+    pub transactions: Vec<CommittedTransaction>,
+}
+
+impl Block {
+    /// Compute the content hash of a transaction list: each transaction's
+    /// id, its full wire encoding (inputs, signatures, outputs, memo), and
+    /// its minted token ids — so no committed byte is malleable.
+    pub fn content_hash(transactions: &[CommittedTransaction]) -> Digest {
+        let mut parts_owned: Vec<Vec<u8>> = Vec::new();
+        for ct in transactions {
+            parts_owned.push(ct.id.0.to_le_bytes().to_vec());
+            let mut tx_bytes = Vec::new();
+            crate::codec::encode_transaction(&ct.tx, &mut tx_bytes);
+            parts_owned.push(tx_bytes);
+            let mut ids = Vec::with_capacity(ct.output_ids.len() * 8);
+            for out in &ct.output_ids {
+                ids.extend_from_slice(&out.0.to_le_bytes());
+            }
+            parts_owned.push(ids);
+        }
+        let parts: Vec<&[u8]> = parts_owned.iter().map(|v| v.as_slice()).collect();
+        sha256_parts(&parts)
+    }
+
+    /// The block's own hash (header fields chained together).
+    pub fn hash(&self) -> Digest {
+        sha256_parts(&[
+            &self.header.height.0.to_le_bytes(),
+            &self.header.prev_hash,
+            &self.header.content_hash,
+            &self.header.timestamp.to_le_bytes(),
+        ])
+    }
+
+    /// Number of output tokens minted in this block (`t(b)` of §4's batch
+    /// construction).
+    pub fn token_count(&self) -> usize {
+        self.transactions.iter().map(|t| t.output_ids.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Transaction;
+    use crate::types::TxId;
+
+    fn empty_block(height: u64, prev: Digest) -> Block {
+        let transactions = vec![];
+        Block {
+            header: BlockHeader {
+                height: BlockHeight(height),
+                prev_hash: prev,
+                content_hash: Block::content_hash(&transactions),
+                timestamp: height,
+            },
+            transactions,
+        }
+    }
+
+    #[test]
+    fn hash_changes_with_height() {
+        let a = empty_block(0, [0; 32]);
+        let b = empty_block(1, [0; 32]);
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn hash_chains_previous() {
+        let a = empty_block(0, [0; 32]);
+        let b = empty_block(1, a.hash());
+        let b2 = empty_block(1, [7; 32]);
+        assert_ne!(b.hash(), b2.hash());
+    }
+
+    #[test]
+    fn token_count_sums_outputs() {
+        let mut blk = empty_block(0, [0; 32]);
+        blk.transactions.push(CommittedTransaction {
+            id: TxId(0),
+            tx: Transaction {
+                inputs: vec![],
+                outputs: vec![],
+                memo: vec![],
+            },
+            output_ids: vec![crate::types::TokenId(0), crate::types::TokenId(1)],
+        });
+        assert_eq!(blk.token_count(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the ledger substrate.
+
+use proptest::prelude::*;
+
+use dams_blockchain::{Amount, BatchList, Chain, TokenId, TokenOutput};
+use dams_crypto::{KeyPair, SchnorrGroup};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a chain of `blocks` coinbase blocks with the given token counts.
+fn build_chain(token_counts: &[usize], seed: u64) -> Chain {
+    let group = SchnorrGroup::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chain = Chain::new(group);
+    for &count in token_counts {
+        let outs: Vec<TokenOutput> = (0..count)
+            .map(|_| TokenOutput {
+                owner: KeyPair::generate(chain.group(), &mut rng).public,
+                amount: Amount(1),
+            })
+            .collect();
+        chain.submit_coinbase(outs);
+        chain.seal_block();
+    }
+    chain
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batch_list_partitions_tokens(
+        counts in prop::collection::vec(0usize..6, 1..12),
+        lambda in 1usize..10,
+    ) {
+        let chain = build_chain(&counts, 1);
+        let total: usize = counts.iter().sum();
+        let bl = BatchList::build(&chain, lambda);
+
+        // Every token in exactly one batch.
+        let mut seen = std::collections::BTreeSet::new();
+        for b in bl.batches() {
+            for t in &b.tokens {
+                prop_assert!(seen.insert(*t), "token {t:?} in two batches");
+            }
+        }
+        prop_assert_eq!(seen.len(), total);
+
+        // Closed batches meet λ; only the last batch may be open.
+        for (i, b) in bl.batches().iter().enumerate() {
+            if b.closed {
+                prop_assert!(b.tokens.len() >= lambda);
+            } else {
+                prop_assert_eq!(i, bl.batches().len() - 1, "only trailing batch open");
+            }
+        }
+
+        // Block ranges are sequential and disjoint.
+        for w in bl.batches().windows(2) {
+            prop_assert!(w[0].last_block < w[1].first_block);
+        }
+    }
+
+    #[test]
+    fn batch_lookup_agrees_with_membership(
+        counts in prop::collection::vec(1usize..5, 1..8),
+        lambda in 1usize..8,
+    ) {
+        let chain = build_chain(&counts, 2);
+        let bl = BatchList::build(&chain, lambda);
+        for i in 0..chain.token_count() as u64 {
+            let t = TokenId(i);
+            let b = bl.batch_of(t);
+            prop_assert!(b.is_some());
+            prop_assert!(b.expect("checked").tokens.contains(&t));
+            prop_assert_eq!(
+                bl.mixin_universe(t).expect("token known"),
+                b.expect("checked").tokens.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn chain_audit_holds_after_any_mint_sequence(
+        counts in prop::collection::vec(0usize..5, 1..10),
+    ) {
+        let chain = build_chain(&counts, 3);
+        prop_assert!(chain.audit());
+        prop_assert_eq!(chain.height(), counts.len() + 1); // + genesis
+        prop_assert_eq!(chain.token_count(), counts.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn origins_partition_by_block(counts in prop::collection::vec(1usize..5, 2..6)) {
+        let chain = build_chain(&counts, 4);
+        // Tokens minted in the same coinbase share an origin; across
+        // different coinbases origins differ.
+        let mut start = 0u64;
+        let mut prev_origin = None;
+        for &count in &counts {
+            let first = chain.token(TokenId(start)).expect("minted").origin;
+            for k in 0..count as u64 {
+                prop_assert_eq!(chain.token(TokenId(start + k)).expect("minted").origin, first);
+            }
+            if let Some(prev) = prev_origin {
+                prop_assert_ne!(first, prev);
+            }
+            prev_origin = Some(first);
+            start += count as u64;
+        }
+    }
+}

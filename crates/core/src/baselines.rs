@@ -1,0 +1,170 @@
+//! The two baselines of §7.1: the Smallest Algorithm (TM_S) and the Random
+//! Algorithm (TM_R). Both repeatedly add a module (smallest-first or
+//! uniformly at random) until the new ring is eligible.
+
+use rand::Rng;
+
+use dams_diversity::TokenId;
+
+use crate::config::SelectionPolicy;
+use crate::instance::{ModularInstance, ModuleId};
+use crate::selection::{Algorithm, SelectError, Selection, SelectionStats};
+
+/// TM_S: repeatedly add the smallest remaining module until eligible.
+pub fn smallest(
+    instance: &ModularInstance,
+    target: TokenId,
+    policy: SelectionPolicy,
+) -> Result<Selection, SelectError> {
+    if (target.0 as usize) >= instance.universe.len() {
+        return Err(SelectError::UnknownToken);
+    }
+    let req = policy.effective();
+    let mut stats = SelectionStats::default();
+
+    let x_tau = instance.module_of(target);
+    let mut selected: Vec<ModuleId> = vec![x_tau];
+    let mut remaining: Vec<ModuleId> = instance
+        .modules()
+        .iter()
+        .map(|m| m.id)
+        .filter(|&id| id != x_tau)
+        .collect();
+    // Smallest-first, id as tiebreak for determinism.
+    remaining.sort_by_key(|&id| (instance.module(id).len(), id));
+
+    let mut next = 0usize;
+    loop {
+        stats.diversity_checks += 1;
+        if req.satisfied_by(&instance.histogram_of(&selected)) {
+            break;
+        }
+        if next >= remaining.len() {
+            return Err(SelectError::Infeasible);
+        }
+        stats.iterations += 1;
+        selected.push(remaining[next]);
+        next += 1;
+    }
+
+    selected.sort_unstable();
+    Ok(Selection {
+        ring: instance.ring_of(&selected),
+        modules: selected,
+        algorithm: Algorithm::Smallest,
+        stats,
+    })
+}
+
+/// TM_R: repeatedly add a uniformly random remaining module until eligible.
+pub fn random<R: Rng + ?Sized>(
+    instance: &ModularInstance,
+    target: TokenId,
+    policy: SelectionPolicy,
+    rng: &mut R,
+) -> Result<Selection, SelectError> {
+    if (target.0 as usize) >= instance.universe.len() {
+        return Err(SelectError::UnknownToken);
+    }
+    let req = policy.effective();
+    let mut stats = SelectionStats::default();
+
+    let x_tau = instance.module_of(target);
+    let mut selected: Vec<ModuleId> = vec![x_tau];
+    let mut remaining: Vec<ModuleId> = instance
+        .modules()
+        .iter()
+        .map(|m| m.id)
+        .filter(|&id| id != x_tau)
+        .collect();
+
+    loop {
+        stats.diversity_checks += 1;
+        if req.satisfied_by(&instance.histogram_of(&selected)) {
+            break;
+        }
+        if remaining.is_empty() {
+            return Err(SelectError::Infeasible);
+        }
+        stats.iterations += 1;
+        let pick = rng.gen_range(0..remaining.len());
+        selected.push(remaining.swap_remove(pick));
+    }
+
+    selected.sort_unstable();
+    Ok(Selection {
+        ring: instance.ring_of(&selected),
+        modules: selected,
+        algorithm: Algorithm::Random,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progressive::tests::example3;
+    use dams_diversity::DiversityRequirement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn smallest_satisfies_requirement() {
+        let inst = example3();
+        let req = DiversityRequirement::new(1.0, 4);
+        let sel = smallest(&inst, TokenId(10), SelectionPolicy::new(req)).unwrap();
+        assert!(req.satisfied_by(&inst.histogram_of(&sel.modules)));
+        assert!(sel.ring.contains(TokenId(10)));
+    }
+
+    #[test]
+    fn random_satisfies_requirement() {
+        let inst = example3();
+        let req = DiversityRequirement::new(1.0, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let sel = random(&inst, TokenId(10), SelectionPolicy::new(req), &mut rng).unwrap();
+            assert!(req.satisfied_by(&inst.histogram_of(&sel.modules)));
+            assert!(sel.ring.contains(TokenId(10)));
+        }
+    }
+
+    #[test]
+    fn smallest_is_deterministic() {
+        let inst = example3();
+        let req = DiversityRequirement::new(1.0, 3);
+        let a = smallest(&inst, TokenId(6), SelectionPolicy::new(req)).unwrap();
+        let b = smallest(&inst, TokenId(6), SelectionPolicy::new(req)).unwrap();
+        assert_eq!(a.modules, b.modules);
+    }
+
+    #[test]
+    fn both_fail_on_infeasible() {
+        let inst = example3();
+        let req = DiversityRequirement::new(1.0, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            smallest(&inst, TokenId(10), SelectionPolicy::new(req)).unwrap_err(),
+            SelectError::Infeasible
+        );
+        assert_eq!(
+            random(&inst, TokenId(10), SelectionPolicy::new(req), &mut rng).unwrap_err(),
+            SelectError::Infeasible
+        );
+    }
+
+    #[test]
+    fn unknown_token_rejected() {
+        let inst = example3();
+        let req = DiversityRequirement::new(1.0, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            smallest(&inst, TokenId(999), SelectionPolicy::new(req)).unwrap_err(),
+            SelectError::UnknownToken
+        );
+        assert_eq!(
+            random(&inst, TokenId(999), SelectionPolicy::new(req), &mut rng).unwrap_err(),
+            SelectError::UnknownToken
+        );
+    }
+}

@@ -1,0 +1,335 @@
+//! The exact breadth-first search algorithm (Algorithm 2, §5).
+//!
+//! Enumerates candidate rings in ascending size, checks the three
+//! constraints of Definition 5 against the full possible-world
+//! (token–RS combination) model, and returns the first — hence smallest —
+//! eligible ring. Exponential, as Theorem 3.1 demands; used on small
+//! instances and to validate the approximation algorithms.
+
+use dams_diversity::{
+    enumerate_dtrs, DiversityRequirement, HtHistogram, RingSet, RsId,
+    TokenId,
+};
+
+use crate::instance::Instance;
+use crate::selection::{Algorithm, SelectError, Selection, SelectionStats};
+
+/// Budget limits for the exact search (the BFS explores `O(2^n)` rings and
+/// `O(n^m)` worlds per ring — callers cap the blast radius).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsBudget {
+    /// Maximum candidate rings to examine before giving up.
+    pub max_candidates: u64,
+    /// Maximum possible worlds per candidate before giving up.
+    pub max_worlds: usize,
+}
+
+impl Default for BfsBudget {
+    fn default() -> Self {
+        BfsBudget {
+            max_candidates: 5_000_000,
+            max_worlds: 2_000_000,
+        }
+    }
+}
+
+/// Run the exact BFS for `target` with requirement `req`.
+///
+/// `instance.rings` must already hold every ring of the batch; the related
+/// set of each candidate is computed per Definition 1.
+pub fn bfs(
+    instance: &Instance,
+    target: TokenId,
+    req: DiversityRequirement,
+    budget: BfsBudget,
+) -> Result<Selection, SelectError> {
+    let n = instance.universe.len();
+    if (target.0 as usize) >= n {
+        return Err(SelectError::UnknownToken);
+    }
+    let mut stats = SelectionStats::default();
+
+    // σ = T \ t_τ (line 1).
+    let sigma: Vec<TokenId> = (0..n as u32)
+        .map(TokenId)
+        .filter(|t| *t != target)
+        .collect();
+
+    // Ascending mixin count i (line 2). A ring needs at least ℓ distinct
+    // HTs, so sizes below ℓ can never satisfy the diversity constraint —
+    // mirroring the paper's `i = ℓ_τ − 1` start.
+    let min_mixins = req.l.saturating_sub(1);
+    for i in min_mixins..=sigma.len() {
+        let mut found: Option<Selection> = None;
+        let mut err: Option<SelectError> = None;
+        for_each_subset(&sigma, i, &mut |mixins| {
+            if found.is_some() || err.is_some() {
+                return false;
+            }
+            stats.candidates_examined += 1;
+            if stats.candidates_examined > budget.max_candidates {
+                err = Some(SelectError::BudgetExhausted);
+                return false;
+            }
+            let mut tokens = mixins.to_vec();
+            tokens.push(target);
+            let rs = RingSet::new(tokens);
+
+            match check_candidate(instance, &rs, req, budget, &mut stats) {
+                Ok(true) => {
+                    found = Some(Selection {
+                        ring: rs,
+                        modules: Vec::new(),
+                        algorithm: Algorithm::Bfs,
+                        stats,
+                    });
+                    false
+                }
+                Ok(false) => true,
+                Err(e) => {
+                    err = Some(e);
+                    false
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if let Some(sel) = found {
+            return Ok(sel);
+        }
+    }
+    Err(SelectError::Infeasible)
+}
+
+/// Check the three constraints of Definition 5 for one candidate ring.
+fn check_candidate(
+    instance: &Instance,
+    rs: &RingSet,
+    req: DiversityRequirement,
+    budget: BfsBudget,
+    stats: &mut SelectionStats,
+) -> Result<bool, SelectError> {
+    // Diversity constraint, first half (lines 6-8): the ring's own HT set.
+    stats.diversity_checks += 1;
+    if !req.satisfied_by(&HtHistogram::from_ring(rs, &instance.universe)) {
+        return Ok(false);
+    }
+
+    // Related set + possible worlds (line 9).
+    let related = instance.rings.related_set(rs, None);
+    let mut ring_ids: Vec<RsId> = related.clone();
+    // Index the candidate as a temporary ring: clone the index and append.
+    let mut index = instance.rings.clone();
+    let rs_id = index.push(rs.clone());
+    ring_ids.push(rs_id);
+
+    let combos =
+        dams_diversity::combination::enumerate_with_limit(&index, &ring_ids, budget.max_worlds);
+    if combos.len() >= budget.max_worlds {
+        return Err(SelectError::BudgetExhausted);
+    }
+    if combos.is_empty() {
+        // The candidate creates a world with no consistent assignment —
+        // impossible in a real chain, but a candidate that contradicts the
+        // existing spend structure is simply ineligible.
+        return Ok(false);
+    }
+
+    // Non-eliminated constraint (lines 10-16): every token of every ring in
+    // the analysis set must appear as its consumed token in some world.
+    for (slot, &rid) in ring_ids.iter().enumerate() {
+        let possible = dams_diversity::combination::possible_consumed(&combos, slot);
+        if possible.len() != index.ring(rid).len() {
+            return Ok(false);
+        }
+    }
+
+    // Immutability + DTRS diversity (lines 17-22): every ring's DTRSs must
+    // satisfy that ring's claimed requirement; the new ring's DTRSs must
+    // satisfy (c_τ, ℓ_τ).
+    for (slot, &rid) in ring_ids.iter().enumerate() {
+        let claim = if rid == rs_id {
+            req
+        } else {
+            instance.claim(rid)
+        };
+        let dtrs = enumerate_dtrs(&combos, &ring_ids, slot, &instance.universe);
+        for d in dtrs {
+            stats.diversity_checks += 1;
+            let hist = HtHistogram::from_tokens(&d.tokens(), &instance.universe);
+            if !claim.satisfied_by(&hist) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Visit all `k`-subsets of `pool` in lexicographic order; the callback
+/// returns `false` to stop the enumeration.
+fn for_each_subset<F: FnMut(&[TokenId]) -> bool>(pool: &[TokenId], k: usize, f: &mut F) {
+    fn rec<F: FnMut(&[TokenId]) -> bool>(
+        pool: &[TokenId],
+        k: usize,
+        start: usize,
+        acc: &mut Vec<TokenId>,
+        f: &mut F,
+    ) -> bool {
+        if acc.len() == k {
+            return f(acc);
+        }
+        let need = k - acc.len();
+        let mut i = start;
+        while i + need <= pool.len() {
+            acc.push(pool[i]);
+            if !rec(pool, k, i + 1, acc, f) {
+                acc.pop();
+                return false;
+            }
+            acc.pop();
+            i += 1;
+        }
+        true
+    }
+    if k <= pool.len() {
+        rec(pool, k, 0, &mut Vec::with_capacity(k), f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dams_diversity::{ring, HtId, RingIndex, TokenUniverse};
+
+    /// Example 1 of the paper as an instance. Token numbering: paper's
+    /// t1..t4 are ids 0..3. HTs: t1, t3 from h1; t2 from h2; t4 from h3.
+    /// Existing rings: r1 = r2 = {t1, t2} = {0, 1}.
+    fn example1() -> Instance {
+        let universe = TokenUniverse::new(vec![HtId(1), HtId(2), HtId(1), HtId(3)]);
+        let rings = RingIndex::from_rings([ring(&[0, 1]), ring(&[0, 1])]);
+        let claims = vec![DiversityRequirement::new(2.0, 1); 2];
+        Instance::new(universe, rings, claims)
+    }
+
+    #[test]
+    fn example1_finds_the_good_solution() {
+        // The paper's "good solution" for consuming t3 (id 2) is
+        // r3 = {t3, t4} = {2, 3}: diverse (h1, h3), resists chain reaction,
+        // size 2.
+        let inst = example1();
+        let req = DiversityRequirement::new(2.0, 1);
+        let sel = bfs(&inst, TokenId(2), req, BfsBudget::default()).unwrap();
+        assert_eq!(sel.size(), 2, "{sel:?}");
+        assert!(sel.ring.contains(TokenId(2)));
+        // {t1, t3} = {0, 2} fails non-eliminated (t1 provably consumed by
+        // r1 = r2); {t2, t3} = {1, 2} fails the same way. {t3, t4} is the
+        // smallest clean ring.
+        assert_eq!(sel.ring, ring(&[2, 3]));
+    }
+
+    #[test]
+    fn example1_solution_two_is_rejected() {
+        // {t2, t3} = {1, 2}: chain reaction pins t3 (r1 = r2 consume t1, t2).
+        let inst = example1();
+        let req = DiversityRequirement::new(2.0, 1);
+        let sel = bfs(&inst, TokenId(2), req, BfsBudget::default()).unwrap();
+        assert_ne!(sel.ring, ring(&[1, 2]));
+    }
+
+    #[test]
+    fn minimality_no_smaller_ring_is_eligible() {
+        // Size-1 ring {t3} is trivially chain-reaction-determined; BFS must
+        // return size >= 2.
+        let inst = example1();
+        let req = DiversityRequirement::new(2.0, 1);
+        let sel = bfs(&inst, TokenId(2), req, BfsBudget::default()).unwrap();
+        assert!(sel.size() >= 2);
+    }
+
+    #[test]
+    fn tight_l_requirement_grows_ring() {
+        let inst = example1();
+        // Require 3 distinct HTs: only {t2, t3, t4} or supersets qualify on
+        // diversity; chain reaction rules out t1/t2 contamination.
+        let req = DiversityRequirement::new(2.0, 3);
+        match bfs(&inst, TokenId(2), req, BfsBudget::default()) {
+            Ok(sel) => {
+                assert!(sel.size() >= 3);
+                let hist = HtHistogram::from_ring(&sel.ring, &inst.universe);
+                assert!(req.satisfied_by(&hist));
+            }
+            Err(SelectError::Infeasible) => {
+                // acceptable: the t2-contamination may make it impossible
+            }
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_when_universe_lacks_hts() {
+        // All tokens share one HT: no ring ever satisfies ℓ = 2.
+        let universe = TokenUniverse::new(vec![HtId(0); 4]);
+        let inst = Instance::fresh(universe);
+        let req = DiversityRequirement::new(1.0, 2);
+        assert_eq!(
+            bfs(&inst, TokenId(0), req, BfsBudget::default()).unwrap_err(),
+            SelectError::Infeasible
+        );
+    }
+
+    #[test]
+    fn fresh_universe_small_ring() {
+        // No existing rings, 4 tokens with distinct HTs: {t0, t?} suffices
+        // for (1, 2)? q=[1,1]: 1 < 1*1 = false (strict). Needs 3 tokens:
+        // q=[1,1,1]: 1 < 1*2 ✓.
+        let universe = TokenUniverse::new(vec![HtId(0), HtId(1), HtId(2), HtId(3)]);
+        let inst = Instance::fresh(universe);
+        let req = DiversityRequirement::new(1.0, 2);
+        let sel = bfs(&inst, TokenId(0), req, BfsBudget::default()).unwrap();
+        assert_eq!(sel.size(), 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let universe = TokenUniverse::new((0..20).map(HtId).collect());
+        let inst = Instance::fresh(universe);
+        let req = DiversityRequirement::new(0.1, 12);
+        let tiny = BfsBudget {
+            max_candidates: 10,
+            max_worlds: 10,
+        };
+        assert_eq!(
+            bfs(&inst, TokenId(0), req, tiny).unwrap_err(),
+            SelectError::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn unknown_token_rejected() {
+        let inst = example1();
+        let req = DiversityRequirement::new(1.0, 1);
+        assert_eq!(
+            bfs(&inst, TokenId(99), req, BfsBudget::default()).unwrap_err(),
+            SelectError::UnknownToken
+        );
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let pool: Vec<TokenId> = (0..5).map(TokenId).collect();
+        let mut count = 0;
+        for_each_subset(&pool, 3, &mut |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 10);
+        // early stop
+        let mut seen = 0;
+        for_each_subset(&pool, 2, &mut |_| {
+            seen += 1;
+            seen < 4
+        });
+        assert_eq!(seen, 4);
+    }
+}

@@ -1,0 +1,161 @@
+//! Parallel TokenMagic generation.
+//!
+//! Algorithm 1 runs the selection algorithm once per token of the batch —
+//! the runs are independent, so they parallelise perfectly across threads.
+//! The framework is an *offline, client-side* step (§4's overhead
+//! discussion), but a wallet covering a Monero-sized batch (hundreds of
+//! tokens) still appreciates using its cores.
+//!
+//! Scoped threads come from `crossbeam` (on the approved dependency list);
+//! each worker owns a seeded RNG derived from the caller's master seed so
+//! the parallel run is deterministic per seed.
+
+use crossbeam::thread;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dams_diversity::{EtaGuard, NeighborTracker, TokenId};
+
+use crate::instance::ModularInstance;
+use crate::selection::{SelectError, Selection};
+use crate::tokenmagic::TokenMagic;
+
+/// Parallel version of [`TokenMagic::generate`]: runs the per-token
+/// candidate generation across `workers` threads, then draws uniformly
+/// from the candidates containing `target` (same semantics, same η guard).
+///
+/// Deterministic given `seed` and `workers`.
+pub fn generate_parallel(
+    tm: &TokenMagic,
+    instance: &ModularInstance,
+    target: TokenId,
+    tracker: &NeighborTracker,
+    seed: u64,
+    workers: usize,
+) -> Result<Selection, SelectError> {
+    if (target.0 as usize) >= instance.universe.len() {
+        return Err(SelectError::UnknownToken);
+    }
+    let workers = workers.max(1);
+    let n = instance.universe.len();
+    let chunk = n.div_ceil(workers);
+
+    // Each worker covers a contiguous token range with its own RNG stream.
+    let results: Vec<Vec<Selection>> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            let tm = *tm;
+            handles.push(scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9E37_79B9));
+                let mut cands = Vec::new();
+                for t in lo..hi {
+                    if let Ok(sel) = tm.select_for(instance, TokenId(t as u32), &mut rng) {
+                        if sel.ring.contains(target) {
+                            cands.push(sel);
+                        }
+                    }
+                }
+                cands
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+
+    let mut cand_tau: Vec<Selection> = results.into_iter().flatten().collect();
+    if cand_tau.is_empty() {
+        return Err(SelectError::Infeasible);
+    }
+    // η guard, as in the sequential path.
+    let guard = EtaGuard::new(tm.eta);
+    if tm.eta > 0.0 {
+        cand_tau.retain(|s| guard.admits_push(tracker, &s.ring, instance.universe.len()));
+        if cand_tau.is_empty() {
+            return Err(SelectError::EtaGuardViolated);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+    let pick = rng.gen_range(0..cand_tau.len());
+    Ok(cand_tau.swap_remove(pick))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SelectionPolicy;
+    use crate::progressive::tests::example3;
+    use crate::tokenmagic::PracticalAlgorithm;
+    use dams_diversity::DiversityRequirement;
+
+    fn tm(l: usize) -> TokenMagic {
+        TokenMagic::new(
+            PracticalAlgorithm::Smallest,
+            SelectionPolicy::new(DiversityRequirement::new(1.0, l)),
+        )
+    }
+
+    #[test]
+    fn parallel_contains_target_and_is_diverse() {
+        let inst = example3();
+        let tracker = NeighborTracker::new();
+        for workers in [1, 2, 4] {
+            let sel =
+                generate_parallel(&tm(3), &inst, TokenId(10), &tracker, 9, workers).unwrap();
+            assert!(sel.ring.contains(TokenId(10)), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_worker_count() {
+        let inst = example3();
+        let tracker = NeighborTracker::new();
+        let a = generate_parallel(&tm(3), &inst, TokenId(10), &tracker, 4, 3).unwrap();
+        let b = generate_parallel(&tm(3), &inst, TokenId(10), &tracker, 4, 3).unwrap();
+        assert_eq!(a.ring, b.ring);
+    }
+
+    #[test]
+    fn infeasible_propagates() {
+        let inst = example3();
+        let tracker = NeighborTracker::new();
+        assert_eq!(
+            generate_parallel(&tm(10), &inst, TokenId(10), &tracker, 1, 4).unwrap_err(),
+            SelectError::Infeasible
+        );
+    }
+
+    #[test]
+    fn unknown_token_rejected() {
+        let inst = example3();
+        let tracker = NeighborTracker::new();
+        assert_eq!(
+            generate_parallel(&tm(2), &inst, TokenId(999), &tracker, 1, 2).unwrap_err(),
+            SelectError::UnknownToken
+        );
+    }
+
+    #[test]
+    fn matches_sequential_candidate_semantics() {
+        // Every ring the parallel path returns is one a sequential
+        // deterministic algorithm (Smallest) could produce for some token:
+        // verify it contains the target and satisfies the policy.
+        let inst = example3();
+        let tracker = NeighborTracker::new();
+        let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 4));
+        let sel = generate_parallel(
+            &TokenMagic::new(PracticalAlgorithm::Smallest, policy),
+            &inst,
+            TokenId(10),
+            &tracker,
+            11,
+            4,
+        )
+        .unwrap();
+        assert!(policy.effective().satisfied_by(&inst.histogram_of(&sel.modules)));
+    }
+}

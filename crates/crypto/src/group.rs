@@ -1,0 +1,247 @@
+//! A Schnorr group over a 62-bit safe prime.
+//!
+//! The group is the subgroup of quadratic residues of `Z_p^*` with
+//! `p = 2q + 1` a safe prime, so the subgroup has prime order `q`. Every
+//! exponent lives in `Z_q`. This mirrors the algebra of an elliptic-curve
+//! group (as used by Monero's ring signatures) at simulation scale: the
+//! ring-signature equations are identical, only the group is small.
+//! DESIGN.md records this substitution; the group offers **no real-world
+//! security** and exists so that Steps 2–3 of the RS scheme (§2.1 of the
+//! paper) run end-to-end.
+
+use crate::prime::{is_safe_prime, mul_mod, next_safe_prime, pow_mod};
+use crate::sha256::{digest_to_u64, sha256_parts};
+
+/// A group element (a quadratic residue modulo `p`), kept opaque so that
+/// only group operations can produce one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Element(pub(crate) u64);
+
+/// An exponent in `Z_q` (the scalar field of the group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scalar(pub(crate) u64);
+
+impl Element {
+    /// Raw residue value (for serialization into hashes).
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Scalar {
+    /// Raw scalar value (for serialization into hashes).
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// The Schnorr group `(p, q, g)` with `p = 2q + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchnorrGroup {
+    p: u64,
+    q: u64,
+    g: Element,
+}
+
+impl Default for SchnorrGroup {
+    /// The default group: the smallest safe prime at or above `2^61`.
+    ///
+    /// Derived by deterministic search (cached after first use) so every
+    /// node in a simulated network independently agrees on the same group
+    /// without a hardcoded constant.
+    fn default() -> Self {
+        use std::sync::OnceLock;
+        static DEFAULT: OnceLock<SchnorrGroup> = OnceLock::new();
+        *DEFAULT.get_or_init(|| SchnorrGroup::from_search(1 << 61))
+    }
+}
+
+impl SchnorrGroup {
+    /// Build a group from a safe prime `p`. Returns `None` when `p` is not a
+    /// safe prime.
+    pub fn new(p: u64) -> Option<Self> {
+        if !is_safe_prime(p) {
+            return None;
+        }
+        let q = p >> 1;
+        // 4 = 2^2 is always a quadratic residue and, since q is prime and
+        // 4 != 1, it generates the full order-q subgroup.
+        let g = Element(4 % p);
+        Some(SchnorrGroup { p, q, g })
+    }
+
+    /// Build a group from the smallest safe prime at or above `start`.
+    pub fn from_search(start: u64) -> Self {
+        let p = next_safe_prime(start);
+        Self::new(p).expect("next_safe_prime returned a safe prime")
+    }
+
+    /// The group modulus `p`.
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// The subgroup (scalar) order `q = (p - 1) / 2`.
+    pub fn order(&self) -> u64 {
+        self.q
+    }
+
+    /// The fixed generator `g`.
+    pub fn generator(&self) -> Element {
+        self.g
+    }
+
+    /// `g^e`.
+    pub fn base_pow(&self, e: Scalar) -> Element {
+        self.pow(self.g, e)
+    }
+
+    /// `a^e`.
+    pub fn pow(&self, a: Element, e: Scalar) -> Element {
+        Element(pow_mod(a.0, e.0, self.p))
+    }
+
+    /// `a * b` in the group.
+    pub fn mul(&self, a: Element, b: Element) -> Element {
+        Element(mul_mod(a.0, b.0, self.p))
+    }
+
+    /// Reduce an arbitrary integer into a scalar.
+    pub fn scalar(&self, v: u64) -> Scalar {
+        Scalar(v % self.q)
+    }
+
+    /// `a + b` in `Z_q`.
+    pub fn scalar_add(&self, a: Scalar, b: Scalar) -> Scalar {
+        Scalar(((a.0 as u128 + b.0 as u128) % self.q as u128) as u64)
+    }
+
+    /// `a - b` in `Z_q`.
+    pub fn scalar_sub(&self, a: Scalar, b: Scalar) -> Scalar {
+        Scalar((a.0 + self.q - b.0 % self.q) % self.q)
+    }
+
+    /// `a * b` in `Z_q`.
+    pub fn scalar_mul(&self, a: Scalar, b: Scalar) -> Scalar {
+        Scalar(mul_mod(a.0, b.0, self.q))
+    }
+
+    /// Hash arbitrary labelled parts to a scalar (`H_s` in ring-signature
+    /// notation).
+    pub fn hash_to_scalar(&self, parts: &[&[u8]]) -> Scalar {
+        // Rejection-free: a 64-bit reduction bias of ~2^-61 is irrelevant at
+        // simulation scale.
+        self.scalar(digest_to_u64(&sha256_parts(parts)))
+    }
+
+    /// Hash arbitrary labelled parts to a group element (`H_p`): map the
+    /// digest to a nonzero residue and square it into the QR subgroup.
+    pub fn hash_to_element(&self, parts: &[&[u8]]) -> Element {
+        let mut counter: u64 = 0;
+        loop {
+            let mut framed: Vec<&[u8]> = Vec::with_capacity(parts.len() + 1);
+            let ctr_bytes = counter.to_le_bytes();
+            framed.push(&ctr_bytes);
+            framed.extend_from_slice(parts);
+            let r = digest_to_u64(&sha256_parts(&framed)) % self.p;
+            if r > 1 {
+                let e = Element(mul_mod(r, r, self.p));
+                // Squaring 2..p-1 can still land on 1 when r = p - 1.
+                if e.0 != 1 {
+                    return e;
+                }
+            }
+            counter += 1;
+        }
+    }
+
+    /// Whether `a` is a member of the order-`q` subgroup.
+    pub fn contains(&self, a: Element) -> bool {
+        a.0 != 0 && a.0 < self.p && pow_mod(a.0, self.q, self.p) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_group_is_safe() {
+        let g = SchnorrGroup::default();
+        assert!(is_safe_prime(g.modulus()));
+        assert_eq!(g.order(), g.modulus() >> 1);
+        assert!(g.contains(g.generator()));
+    }
+
+    #[test]
+    fn rejects_non_safe_prime() {
+        assert!(SchnorrGroup::new(13).is_none()); // prime but not safe
+        assert!(SchnorrGroup::new(15).is_none()); // composite
+    }
+
+    #[test]
+    fn small_group_arithmetic() {
+        // p = 23, q = 11, g = 4.
+        let g = SchnorrGroup::new(23).unwrap();
+        assert_eq!(g.order(), 11);
+        // g has order 11: g^11 = 1, g^k != 1 for 1 <= k < 11.
+        assert_eq!(g.base_pow(Scalar(11)).0, 1);
+        for k in 1..11 {
+            assert_ne!(g.base_pow(Scalar(k)).0, 1, "order divides {k}");
+        }
+    }
+
+    #[test]
+    fn exponent_laws() {
+        let grp = SchnorrGroup::default();
+        let a = grp.scalar(123_456_789);
+        let b = grp.scalar(987_654_321);
+        // g^a * g^b = g^(a+b)
+        assert_eq!(
+            grp.mul(grp.base_pow(a), grp.base_pow(b)),
+            grp.base_pow(grp.scalar_add(a, b))
+        );
+        // (g^a)^b = g^(ab)
+        assert_eq!(
+            grp.pow(grp.base_pow(a), b),
+            grp.base_pow(grp.scalar_mul(a, b))
+        );
+    }
+
+    #[test]
+    fn scalar_sub_wraps() {
+        let grp = SchnorrGroup::new(23).unwrap();
+        let a = grp.scalar(3);
+        let b = grp.scalar(7);
+        let d = grp.scalar_sub(a, b);
+        assert_eq!(grp.scalar_add(d, b), a);
+    }
+
+    #[test]
+    fn hash_to_element_lands_in_subgroup() {
+        let grp = SchnorrGroup::default();
+        for i in 0..50u64 {
+            let e = grp.hash_to_element(&[b"probe", &i.to_le_bytes()]);
+            assert!(grp.contains(e), "i={i}");
+        }
+    }
+
+    #[test]
+    fn hash_to_scalar_is_deterministic_and_spread() {
+        let grp = SchnorrGroup::default();
+        let a = grp.hash_to_scalar(&[b"x"]);
+        let b = grp.hash_to_scalar(&[b"x"]);
+        let c = grp.hash_to_scalar(&[b"y"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn membership_rejects_non_residues() {
+        let grp = SchnorrGroup::new(23).unwrap();
+        // 5 is a non-residue mod 23 (5^11 mod 23 = 22 != 1).
+        assert!(!grp.contains(Element(5)));
+        assert!(!grp.contains(Element(0)));
+        assert!(!grp.contains(Element(23)));
+    }
+}

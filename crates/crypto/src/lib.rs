@@ -1,0 +1,31 @@
+//! # dams-crypto
+//!
+//! Cryptographic substrate for the DA-MS (diversity-aware mixin selection)
+//! reproduction: a from-scratch SHA-256, deterministic Miller–Rabin
+//! primality testing, a safe-prime Schnorr group, key pairs with key images,
+//! and a bLSAG-style **linkable ring signature** implementing Steps 2 and 3
+//! of the ring-signature scheme described in §2.1 of the paper.
+//!
+//! The paper's contribution changes only *Step 1* (mixin selection); this
+//! crate exists so the rest of the pipeline — sign, verify, reject reused
+//! key images — runs end-to-end. The 62-bit group is a documented
+//! simulation-scale substitution (see DESIGN.md) and must not be used for
+//! real-world security.
+
+pub mod blsag;
+pub mod group;
+pub mod hd;
+pub mod keys;
+pub mod mlsag;
+pub mod pedersen;
+pub mod prime;
+pub mod range_proof;
+pub mod sha256;
+
+pub use blsag::{linked, sign, verify, RingSignature, SignError};
+pub use group::{Element, Scalar, SchnorrGroup};
+pub use hd::KeyChain;
+pub use keys::{KeyImage, KeyPair, PublicKey, SecretKey};
+pub use mlsag::{sign_mlsag, verify_mlsag, MlsagError, MlsagSignature};
+pub use pedersen::{Commitment, Opening, PedersenParams};
+pub use range_proof::{prove_range, verify_range, BitProof, RangeProof};

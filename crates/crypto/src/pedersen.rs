@@ -1,0 +1,214 @@
+//! Pedersen commitments over the Schnorr group — the confidential-amount
+//! half of a RingCT-style transaction (§2.1 cites RingCT 3.0 as the Step-2
+//! scheme; amounts there are hidden inside commitments and transactions
+//! prove input/output balance without revealing values).
+//!
+//! A commitment to amount `a` with blinding factor `b` is `C = g^b · h^a`,
+//! where `h` is a second generator with unknown discrete log relative to
+//! `g` (derived by hashing, as usual). Commitments are additively
+//! homomorphic in the exponent: `C1 · C2 = commit(a1 + a2, b1 + b2)`, which
+//! is what lets verifiers check that inputs and outputs of a transaction
+//! balance while seeing only group elements.
+
+use rand::Rng;
+
+use crate::group::{Element, Scalar, SchnorrGroup};
+
+/// A Pedersen commitment `C = g^b · h^a`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Commitment(pub(crate) Element);
+
+/// The opening of a commitment: the amount and the blinding factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Opening {
+    pub amount: u64,
+    pub blinding: Scalar,
+}
+
+/// Commitment parameters: the group plus the second generator `h`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PedersenParams {
+    group: SchnorrGroup,
+    h: Element,
+}
+
+impl Commitment {
+    /// Raw residue value (for hashing into transactions).
+    pub fn value(self) -> u64 {
+        self.0.value()
+    }
+}
+
+impl PedersenParams {
+    /// Derive parameters from a group; `h` is hashed from a domain tag so
+    /// nobody knows `log_g h`.
+    pub fn new(group: SchnorrGroup) -> Self {
+        let h = group.hash_to_element(&[b"pedersen-h"]);
+        PedersenParams { group, h }
+    }
+
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// Commit to `amount` with an explicit blinding factor.
+    pub fn commit(&self, amount: u64, blinding: Scalar) -> Commitment {
+        let gb = self.group.base_pow(blinding);
+        let ha = self.group.pow(self.h, self.group.scalar(amount));
+        Commitment(self.group.mul(gb, ha))
+    }
+
+    /// Commit with a random blinding factor; returns the opening too.
+    pub fn commit_random<R: Rng + ?Sized>(
+        &self,
+        amount: u64,
+        rng: &mut R,
+    ) -> (Commitment, Opening) {
+        let blinding = self.group.scalar(rng.gen_range(1..self.group.order()));
+        (
+            self.commit(amount, blinding),
+            Opening { amount, blinding },
+        )
+    }
+
+    /// Verify an opening against a commitment.
+    pub fn open(&self, c: Commitment, opening: Opening) -> bool {
+        self.commit(opening.amount, opening.blinding) == c
+    }
+
+    /// Homomorphic sum of commitments.
+    pub fn add(&self, a: Commitment, b: Commitment) -> Commitment {
+        Commitment(self.group.mul(a.0, b.0))
+    }
+
+    /// Fold a commitment list into one.
+    pub fn sum<I: IntoIterator<Item = Commitment>>(&self, cs: I) -> Option<Commitment> {
+        cs.into_iter().reduce(|a, b| self.add(a, b))
+    }
+
+    /// Balance check: inputs and outputs commit to the same total iff
+    /// `Π inputs = Π outputs · g^z` for the published excess blinding `z`
+    /// (the transaction signer knows the blinding sums and publishes the
+    /// difference; amounts stay hidden).
+    pub fn balanced(
+        &self,
+        inputs: &[Commitment],
+        outputs: &[Commitment],
+        excess_blinding: Scalar,
+    ) -> bool {
+        let (Some(lhs), Some(rhs_base)) = (
+            self.sum(inputs.iter().copied()),
+            self.sum(outputs.iter().copied()),
+        ) else {
+            return inputs.is_empty() && outputs.is_empty();
+        };
+        let rhs = self.group.mul(rhs_base.0, self.group.base_pow(excess_blinding));
+        lhs.0 == rhs
+    }
+
+    /// The excess blinding `z = Σ b_in − Σ b_out` a signer must publish for
+    /// [`Self::balanced`] to hold (requires knowing all openings).
+    pub fn excess(&self, inputs: &[Opening], outputs: &[Opening]) -> Scalar {
+        let sum = |os: &[Opening]| {
+            os.iter().fold(self.group.scalar(0), |acc, o| {
+                self.group.scalar_add(acc, o.blinding)
+            })
+        };
+        self.group.scalar_sub(sum(inputs), sum(outputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> PedersenParams {
+        PedersenParams::new(SchnorrGroup::default())
+    }
+
+    #[test]
+    fn open_roundtrip() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (c, o) = p.commit_random(42, &mut rng);
+        assert!(p.open(c, o));
+        assert!(!p.open(
+            c,
+            Opening {
+                amount: 43,
+                blinding: o.blinding
+            }
+        ));
+    }
+
+    #[test]
+    fn commitments_hide_amounts() {
+        // Same amount, different blinding → different commitments.
+        let p = params();
+        let c1 = p.commit(10, p.group().scalar(111));
+        let c2 = p.commit(10, p.group().scalar(222));
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn binding_different_amounts_differ() {
+        let p = params();
+        let b = p.group().scalar(777);
+        assert_ne!(p.commit(1, b), p.commit(2, b));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let p = params();
+        let b1 = p.group().scalar(5);
+        let b2 = p.group().scalar(9);
+        let lhs = p.add(p.commit(3, b1), p.commit(4, b2));
+        let rhs = p.commit(7, p.group().scalar_add(b1, b2));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn balance_check_accepts_equal_totals() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (ci1, oi1) = p.commit_random(30, &mut rng);
+        let (ci2, oi2) = p.commit_random(12, &mut rng);
+        let (co1, oo1) = p.commit_random(25, &mut rng);
+        let (co2, oo2) = p.commit_random(17, &mut rng);
+        let z = p.excess(&[oi1, oi2], &[oo1, oo2]);
+        assert!(p.balanced(&[ci1, ci2], &[co1, co2], z));
+    }
+
+    #[test]
+    fn balance_check_rejects_inflation() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (ci, oi) = p.commit_random(10, &mut rng);
+        // Output claims 11 out of a 10 input.
+        let (co, oo) = p.commit_random(11, &mut rng);
+        let z = p.excess(&[oi], &[oo]);
+        assert!(!p.balanced(&[ci], &[co], z));
+    }
+
+    #[test]
+    fn balance_with_wrong_excess_fails() {
+        let p = params();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (ci, oi) = p.commit_random(8, &mut rng);
+        let (co, oo) = p.commit_random(8, &mut rng);
+        let z = p.excess(&[oi], &[oo]);
+        let wrong = p.group().scalar_add(z, p.group().scalar(1));
+        assert!(p.balanced(&[ci], &[co], z));
+        assert!(!p.balanced(&[ci], &[co], wrong));
+    }
+
+    #[test]
+    fn empty_sides() {
+        let p = params();
+        assert!(p.balanced(&[], &[], p.group().scalar(0)));
+        let (c, _o) = p.commit_random(1, &mut StdRng::seed_from_u64(5));
+        assert!(!p.balanced(&[c], &[], p.group().scalar(0)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Deterministic primality testing and safe-prime search for 64-bit moduli.
+//!
+//! The Schnorr group used by the ring-signature substrate needs a *safe
+//! prime* `p` (i.e. `p = 2q + 1` with `q` prime) so that the subgroup of
+//! quadratic residues has prime order `q`. Working in a 62-bit group keeps
+//! all arithmetic in `u64`/`u128` — a deliberate simulation-scale choice
+//! documented in DESIGN.md.
+
+/// Multiply two residues modulo `m` without overflow.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Raise `base` to `exp` modulo `m` by square-and-multiply.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    debug_assert!(m > 1, "modulus must exceed 1");
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Witnesses that make Miller–Rabin *deterministic* for all `n < 3.3 * 10^24`
+/// (covers the whole `u64` range). See Sinclair/Feitsma verification work.
+const MR_WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+/// Deterministic Miller–Rabin primality test for `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &MR_WITNESSES {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^r with d odd
+    let mut d = n - 1;
+    let r = d.trailing_zeros();
+    d >>= r;
+    'witness: for &a in &MR_WITNESSES {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..r {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Whether `p` is a safe prime (`p` and `(p-1)/2` both prime).
+pub fn is_safe_prime(p: u64) -> bool {
+    p > 4 && p & 1 == 1 && is_prime(p) && is_prime(p >> 1)
+}
+
+/// Find the smallest safe prime `>= start`.
+///
+/// Panics if the search would overflow `u64` (never happens for the
+/// constructor inputs used in this crate).
+pub fn next_safe_prime(start: u64) -> u64 {
+    let mut n = start.max(5);
+    if n & 1 == 0 {
+        n += 1;
+    }
+    // Safe primes other than 5/7 are ≡ 11 (mod 12); we simply scan odd
+    // numbers — the density is ample for a one-off search.
+    loop {
+        if is_safe_prime(n) {
+            return n;
+        }
+        n = n.checked_add(2).expect("safe prime search overflowed u64");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 97, 101, 7919];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        let composites = [0u64, 1, 4, 6, 9, 15, 21, 25, 91, 561, 1105, 7917];
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Strong pseudoprime stress: Carmichael numbers fool Fermat tests.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 825265] {
+            assert!(!is_prime(c), "{c} is Carmichael, not prime");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1 (Mersenne)
+        assert!(is_prime(2_305_843_009_213_693_951)); // 2^61 - 1 (Mersenne)
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(!is_prime(18_446_744_073_709_551_555));
+    }
+
+    #[test]
+    fn safe_prime_detection() {
+        // 5 = 2*2+1, 7 = 2*3+1, 11 = 2*5+1, 23 = 2*11+1, 47, 59, 83, 107
+        for p in [5u64, 7, 11, 23, 47, 59, 83, 107, 167, 179] {
+            assert!(is_safe_prime(p), "{p} is a safe prime");
+        }
+        for p in [13u64, 17, 19, 29, 31, 37, 41, 43] {
+            assert!(!is_safe_prime(p), "{p} is prime but not safe");
+        }
+    }
+
+    #[test]
+    fn next_safe_prime_examples() {
+        assert_eq!(next_safe_prime(0), 5);
+        assert_eq!(next_safe_prime(6), 7);
+        assert_eq!(next_safe_prime(8), 11);
+        assert_eq!(next_safe_prime(24), 47);
+        let p = next_safe_prime(1 << 61);
+        assert!(is_safe_prime(p));
+        assert!(p >= (1 << 61));
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        for m in [97u64, 101, 65537] {
+            for b in [0u64, 1, 2, 50, 96] {
+                let mut expect = 1u64;
+                for _ in 0..13 {
+                    expect = expect * b % m;
+                }
+                assert_eq!(pow_mod(b, 13, m), expect, "b={b} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_mod_no_overflow() {
+        let big = u64::MAX - 58; // prime
+        assert_eq!(mul_mod(big - 1, big - 1, big), 1); // (-1)^2 = 1
+    }
+
+    #[test]
+    fn fermat_little_theorem_holds() {
+        let p = 2_305_843_009_213_693_951u64;
+        for a in [2u64, 3, 12345, 987654321] {
+            assert_eq!(pow_mod(a, p - 1, p), 1);
+        }
+    }
+}

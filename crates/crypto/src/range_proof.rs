@@ -1,0 +1,298 @@
+//! Bit-decomposition range proofs for Pedersen commitments.
+//!
+//! The homomorphic balance check of [`crate::pedersen`] is only sound if
+//! every committed amount is known to be small: exponent arithmetic is
+//! modular, so a "negative" amount (q − x) would slip through the balance
+//! equation and mint value out of thin air. RingCT solves this with range
+//! proofs; this module implements the classic bit-decomposition variant:
+//!
+//! 1. commit to each bit `b_i` of the amount: `C_i = g^{r_i} h^{b_i}`;
+//! 2. prove with a Fiat–Shamir Schnorr **OR-proof** that each `C_i` hides
+//!    0 or 1 (i.e. `C_i` or `C_i / h` is a commitment to zero);
+//! 3. the verifier checks `Π C_i^{2^i} = C` — the bit commitments
+//!    recompose to the target commitment.
+//!
+//! The OR-proof is the standard CDS (Cramer–Damgård–Schoenmakers)
+//! disjunction: simulate the branch you cannot open, answer the other
+//! honestly, split the challenge.
+
+use rand::Rng;
+
+use crate::group::{Element, Scalar, SchnorrGroup};
+use crate::pedersen::{Commitment, Opening, PedersenParams};
+
+/// Proof that one bit commitment hides 0 or 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitProof {
+    /// Commitments of the two Schnorr branches (bit = 0, bit = 1).
+    pub t0: Element,
+    pub t1: Element,
+    /// Split challenges (c0 + c1 = H(transcript)).
+    pub c0: Scalar,
+    pub c1: Scalar,
+    /// Responses.
+    pub s0: Scalar,
+    pub s1: Scalar,
+}
+
+/// A full range proof: per-bit commitments and their 0/1 proofs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeProof {
+    /// `C_i = g^{r_i} h^{b_i}`, least-significant bit first.
+    pub bit_commitments: Vec<Commitment>,
+    pub bit_proofs: Vec<BitProof>,
+}
+
+impl RangeProof {
+    /// Number of bits proven.
+    pub fn bits(&self) -> usize {
+        self.bit_commitments.len()
+    }
+}
+
+/// The challenge for one bit's OR-proof, bound to the whole statement.
+fn bit_challenge(
+    group: &SchnorrGroup,
+    target: Commitment,
+    index: usize,
+    c_bit: Commitment,
+    t0: Element,
+    t1: Element,
+) -> Scalar {
+    group.hash_to_scalar(&[
+        b"range-bit",
+        &target.value().to_le_bytes(),
+        &(index as u64).to_le_bytes(),
+        &c_bit.value().to_le_bytes(),
+        &t0.value().to_le_bytes(),
+        &t1.value().to_le_bytes(),
+    ])
+}
+
+/// Prove `opening.amount < 2^bits` for `target = commit(opening)`.
+///
+/// Panics when the amount does not fit in `bits` (caller bug) or when the
+/// opening does not match `target`.
+pub fn prove_range<R: Rng + ?Sized>(
+    params: &PedersenParams,
+    target: Commitment,
+    opening: Opening,
+    bits: usize,
+    rng: &mut R,
+) -> RangeProof {
+    let group = *params.group();
+    assert!(bits > 0 && bits <= 64, "1..=64 bits");
+    assert!(
+        bits == 64 || opening.amount < (1u64 << bits),
+        "amount {} exceeds 2^{bits}",
+        opening.amount
+    );
+    assert!(params.open(target, opening), "opening must match target");
+
+    // Blinding factors per bit; the top bit absorbs the remainder so that
+    // Σ r_i · 2^i = blinding (then Π C_i^{2^i} = C exactly).
+    let mut blinds: Vec<Scalar> = (0..bits)
+        .map(|_| group.scalar(rng.gen_range(1..group.order())))
+        .collect();
+    // weighted sum of all but bit 0: Σ_{i>0} r_i 2^i
+    let mut weighted = group.scalar(0);
+    for (i, b) in blinds.iter().enumerate().skip(1) {
+        let w = group.scalar_mul(*b, group.scalar(1u64 << i));
+        weighted = group.scalar_add(weighted, w);
+    }
+    // r_0 = blinding − Σ_{i>0} r_i 2^i  (weight of bit 0 is 1)
+    blinds[0] = group.scalar_sub(opening.blinding, weighted);
+
+    let mut bit_commitments = Vec::with_capacity(bits);
+    let mut bit_proofs = Vec::with_capacity(bits);
+    for (i, &r_i) in blinds.iter().enumerate() {
+        let bit = (opening.amount >> i) & 1;
+        let c_i = params.commit(bit, r_i);
+        bit_commitments.push(c_i);
+
+        // OR-proof: branch 0 states "C_i = g^{r}", branch 1 states
+        // "C_i / h = g^{r}". We know branch `bit`; simulate the other.
+        let h = params.commit(1, group.scalar(0)); // h as an element wrapper
+        let branch1_el = {
+            // C_i / h = C_i * h^{-1}; compute h^{-1} as h^{q-1}.
+            let h_inv = group.pow(h.0, group.scalar(group.order() - 1));
+            group.mul(c_i.0, h_inv)
+        };
+        let c_i_el = c_i.0;
+
+        // Simulated branch: random challenge + response; T = g^s / X^c.
+        let sim_c = group.scalar(rng.gen_range(1..group.order()));
+        let sim_s = group.scalar(rng.gen_range(1..group.order()));
+        let sim_t = |x: Element| {
+            // T = g^s * x^{-c} = g^s * x^{(q - c)}
+            let x_neg_c = group.pow(x, group.scalar_sub(group.scalar(0), sim_c));
+            group.mul(group.base_pow(sim_s), x_neg_c)
+        };
+        // Honest branch: T = g^k.
+        let k = group.scalar(rng.gen_range(1..group.order()));
+        let honest_t = group.base_pow(k);
+
+        let (t0, t1) = if bit == 0 {
+            (honest_t, sim_t(branch1_el))
+        } else {
+            (sim_t(c_i_el), honest_t)
+        };
+        let c_total = bit_challenge(&group, target, i, c_i, t0, t1);
+        let (c0, c1) = if bit == 0 {
+            let c0 = group.scalar_sub(c_total, sim_c);
+            (c0, sim_c)
+        } else {
+            let c1 = group.scalar_sub(c_total, sim_c);
+            (sim_c, c1)
+        };
+        // Honest response: s = k + c · r  (statement X = g^r).
+        let honest_s = |c: Scalar| group.scalar_add(k, group.scalar_mul(c, r_i));
+        let (s0, s1) = if bit == 0 {
+            (honest_s(c0), sim_s)
+        } else {
+            (sim_s, honest_s(c1))
+        };
+        bit_proofs.push(BitProof {
+            t0,
+            t1,
+            c0,
+            c1,
+            s0,
+            s1,
+        });
+    }
+    RangeProof {
+        bit_commitments,
+        bit_proofs,
+    }
+}
+
+/// Verify a range proof for `target`.
+pub fn verify_range(params: &PedersenParams, target: Commitment, proof: &RangeProof) -> bool {
+    let group = *params.group();
+    let bits = proof.bit_commitments.len();
+    if bits == 0 || bits > 64 || proof.bit_proofs.len() != bits {
+        return false;
+    }
+    // Recomposition: Π C_i^{2^i} = C.
+    let mut acc: Option<Element> = None;
+    for (i, c_i) in proof.bit_commitments.iter().enumerate() {
+        let powed = group.pow(
+            c_i.0,
+            group.scalar(1u64 << i),
+        );
+        acc = Some(match acc {
+            None => powed,
+            Some(a) => group.mul(a, powed),
+        });
+    }
+    if acc.map(|a| a.value()) != Some(target.value()) {
+        return false;
+    }
+    // Each bit's OR-proof.
+    let h = params.commit(1, group.scalar(0));
+    for (i, (c_i, p)) in proof
+        .bit_commitments
+        .iter()
+        .zip(&proof.bit_proofs)
+        .enumerate()
+    {
+        let c_total = bit_challenge(&group, target, i, *c_i, p.t0, p.t1);
+        if group.scalar_add(p.c0, p.c1) != c_total {
+            return false;
+        }
+        let c_i_el = c_i.0;
+        let h_inv = group.pow(h.0, group.scalar(group.order() - 1));
+        let branch1_el = group.mul(c_i_el, h_inv);
+        // Branch 0: g^{s0} = T0 · C_i^{c0}
+        if group.base_pow(p.s0) != group.mul(p.t0, group.pow(c_i_el, p.c0)) {
+            return false;
+        }
+        // Branch 1: g^{s1} = T1 · (C_i/h)^{c1}
+        if group.base_pow(p.s1) != group.mul(p.t1, group.pow(branch1_el, p.c1)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (PedersenParams, StdRng) {
+        (
+            PedersenParams::new(SchnorrGroup::default()),
+            StdRng::seed_from_u64(5),
+        )
+    }
+
+    #[test]
+    fn roundtrip_small_amounts() {
+        let (p, mut rng) = setup();
+        for amount in [0u64, 1, 2, 7, 200, 1023] {
+            let (c, o) = p.commit_random(amount, &mut rng);
+            let proof = prove_range(&p, c, o, 10, &mut rng);
+            assert!(verify_range(&p, c, &proof), "amount {amount}");
+            assert_eq!(proof.bits(), 10);
+        }
+    }
+
+    #[test]
+    fn wrong_target_rejected() {
+        let (p, mut rng) = setup();
+        let (c, o) = p.commit_random(5, &mut rng);
+        let proof = prove_range(&p, c, o, 8, &mut rng);
+        let (other, _) = p.commit_random(5, &mut rng);
+        assert!(!verify_range(&p, other, &proof));
+    }
+
+    #[test]
+    fn tampered_bit_commitment_rejected() {
+        let (p, mut rng) = setup();
+        let (c, o) = p.commit_random(9, &mut rng);
+        let mut proof = prove_range(&p, c, o, 8, &mut rng);
+        proof.bit_commitments[0] = p.commit(1, p.group().scalar(12345));
+        assert!(!verify_range(&p, c, &proof));
+    }
+
+    #[test]
+    fn tampered_response_rejected() {
+        let (p, mut rng) = setup();
+        let (c, o) = p.commit_random(9, &mut rng);
+        let mut proof = prove_range(&p, c, o, 8, &mut rng);
+        proof.bit_proofs[3].s0 = p.group().scalar(proof.bit_proofs[3].s0.value() ^ 1);
+        assert!(!verify_range(&p, c, &proof));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn prover_refuses_out_of_range_amount() {
+        let (p, mut rng) = setup();
+        let (c, o) = p.commit_random(300, &mut rng);
+        let _ = prove_range(&p, c, o, 8, &mut rng);
+    }
+
+    #[test]
+    fn proof_size_is_linear_in_bits() {
+        let (p, mut rng) = setup();
+        let (c, o) = p.commit_random(3, &mut rng);
+        let p4 = prove_range(&p, c, o, 4, &mut rng);
+        let p16 = prove_range(&p, c, o, 16, &mut rng);
+        assert_eq!(p4.bits(), 4);
+        assert_eq!(p16.bits(), 16);
+        assert!(verify_range(&p, c, &p4));
+        assert!(verify_range(&p, c, &p16));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let (p, mut rng) = setup();
+        let (c, o) = p.commit_random(3, &mut rng);
+        let mut proof = prove_range(&p, c, o, 4, &mut rng);
+        proof.bit_proofs.pop();
+        assert!(!verify_range(&p, c, &proof));
+    }
+}

@@ -1,0 +1,231 @@
+//! Token–RS combinations (Definition 6 of the paper).
+//!
+//! A token–RS combination of a ring set `R` assigns to every ring one
+//! consumed token from that ring such that no token is assigned twice —
+//! exactly a perfect matching of the rings into the tokens. Because each
+//! token can be consumed at most once, the set of combinations is the set
+//! of *possible worlds* an adversary must distinguish between; this is the
+//! object behind the #P-hardness reduction (Theorem 3.1).
+//!
+//! Enumeration is exponential in general (the reduction says it must be) —
+//! it is used by the exact BFS algorithm and by exact DTRS computation on
+//! small instances only.
+
+use crate::related::RingIndex;
+use crate::types::{RsId, TokenId};
+
+/// One combination: `assigned[i]` is the token consumed by the i-th ring of
+/// the input slice (same order as passed to [`enumerate_combinations`]).
+pub type Combination = Vec<TokenId>;
+
+/// Enumerate all token–RS combinations of the given rings.
+///
+/// `rings` are ids into `index`. Rings are processed smallest-first
+/// internally (strong pruning); results are permuted back to input order.
+/// Returns an empty vec when no combination exists (some ring cannot be
+/// assigned a distinct token).
+pub fn enumerate_combinations(index: &RingIndex, rings: &[RsId]) -> Vec<Combination> {
+    enumerate_with_limit(index, rings, usize::MAX)
+}
+
+/// Like [`enumerate_combinations`] but stops after `limit` results.
+///
+/// The exact algorithms only ever ask "is the set of combinations empty?"
+/// or "do all combinations agree?"; a limit lets callers bail out early on
+/// pathological instances.
+pub fn enumerate_with_limit(
+    index: &RingIndex,
+    rings: &[RsId],
+    limit: usize,
+) -> Vec<Combination> {
+    if rings.is_empty() {
+        // The empty combination assigns nothing and is vacuously valid.
+        return vec![Vec::new()];
+    }
+    // Order rings by ascending size: fail fast on the most constrained.
+    let mut order: Vec<usize> = (0..rings.len()).collect();
+    order.sort_by_key(|&i| index.ring(rings[i]).len());
+
+    let mut out: Vec<Combination> = Vec::new();
+    let mut chosen: Vec<TokenId> = Vec::with_capacity(rings.len());
+    let mut used: std::collections::HashSet<TokenId> = std::collections::HashSet::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        index: &RingIndex,
+        rings: &[RsId],
+        order: &[usize],
+        depth: usize,
+        chosen: &mut Vec<TokenId>,
+        used: &mut std::collections::HashSet<TokenId>,
+        out: &mut Vec<Combination>,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        if depth == order.len() {
+            // Permute back to the caller's ring order.
+            let mut combo = vec![TokenId(u32::MAX); rings.len()];
+            for (d, &slot) in order.iter().enumerate() {
+                combo[slot] = chosen[d];
+            }
+            out.push(combo);
+            return;
+        }
+        let ring = index.ring(rings[order[depth]]);
+        for &t in ring.tokens() {
+            if used.insert(t) {
+                chosen.push(t);
+                recurse(index, rings, order, depth + 1, chosen, used, out, limit);
+                chosen.pop();
+                used.remove(&t);
+                if out.len() >= limit {
+                    return;
+                }
+            }
+        }
+    }
+
+    recurse(
+        index, rings, &order, 0, &mut chosen, &mut used, &mut out, limit,
+    );
+    out
+}
+
+/// Count combinations without materialising them (same recursion).
+pub fn count_combinations(index: &RingIndex, rings: &[RsId]) -> u64 {
+    if rings.is_empty() {
+        return 1;
+    }
+    let mut order: Vec<usize> = (0..rings.len()).collect();
+    order.sort_by_key(|&i| index.ring(rings[i]).len());
+
+    fn recurse(
+        index: &RingIndex,
+        rings: &[RsId],
+        order: &[usize],
+        depth: usize,
+        used: &mut std::collections::HashSet<TokenId>,
+    ) -> u64 {
+        if depth == order.len() {
+            return 1;
+        }
+        let ring = index.ring(rings[order[depth]]);
+        let mut n = 0;
+        for &t in ring.tokens() {
+            if used.insert(t) {
+                n += recurse(index, rings, order, depth + 1, used);
+                used.remove(&t);
+            }
+        }
+        n
+    }
+
+    recurse(
+        index,
+        rings,
+        &order,
+        0,
+        &mut std::collections::HashSet::new(),
+    )
+}
+
+/// The set of tokens that some combination assigns to `rings[slot]`.
+///
+/// This is the "ST" set of Algorithm 2 lines 10–16: the non-eliminated
+/// constraint requires it to equal the full ring (every token must remain a
+/// possible consumed token).
+pub fn possible_consumed(combos: &[Combination], slot: usize) -> Vec<TokenId> {
+    let mut set: std::collections::BTreeSet<TokenId> = std::collections::BTreeSet::new();
+    for c in combos {
+        set.insert(c[slot]);
+    }
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ring;
+
+    #[test]
+    fn two_disjoint_rings() {
+        let idx = RingIndex::from_rings([ring(&[1, 2]), ring(&[3, 4])]);
+        let combos = enumerate_combinations(&idx, &[RsId(0), RsId(1)]);
+        assert_eq!(combos.len(), 4);
+    }
+
+    #[test]
+    fn identical_rings_constrain_each_other() {
+        // r1 = r2 = {1, 2}: exactly 2 combinations (1↔2 swapped).
+        let idx = RingIndex::from_rings([ring(&[1, 2]), ring(&[1, 2])]);
+        let combos = enumerate_combinations(&idx, &[RsId(0), RsId(1)]);
+        assert_eq!(combos.len(), 2);
+        for c in &combos {
+            assert_ne!(c[0], c[1]);
+        }
+    }
+
+    #[test]
+    fn paper_example_1_chain_reaction_world() {
+        // r1 = r2 = {t1, t2}, r3 = {t2, t3}: t1,t2 pinned to r1/r2 in some
+        // order, so r3 must consume t3 in every combination.
+        let idx = RingIndex::from_rings([ring(&[1, 2]), ring(&[1, 2]), ring(&[2, 3])]);
+        let all = [RsId(0), RsId(1), RsId(2)];
+        let combos = enumerate_combinations(&idx, &all);
+        assert_eq!(combos.len(), 2);
+        let st = possible_consumed(&combos, 2);
+        assert_eq!(st, vec![TokenId(3)], "r3's consumed token is determined");
+    }
+
+    #[test]
+    fn infeasible_set_yields_no_combination() {
+        // three rings over two tokens: pigeonhole.
+        let idx = RingIndex::from_rings([ring(&[1, 2]), ring(&[1, 2]), ring(&[1, 2])]);
+        let combos = enumerate_combinations(&idx, &[RsId(0), RsId(1), RsId(2)]);
+        assert!(combos.is_empty());
+        assert_eq!(count_combinations(&idx, &[RsId(0), RsId(1), RsId(2)]), 0);
+    }
+
+    #[test]
+    fn empty_ring_list() {
+        let idx = RingIndex::new();
+        let combos = enumerate_combinations(&idx, &[]);
+        assert_eq!(combos, vec![Vec::<TokenId>::new()]);
+        assert_eq!(count_combinations(&idx, &[]), 1);
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        let idx = RingIndex::from_rings([
+            ring(&[1, 2, 3]),
+            ring(&[2, 3, 4]),
+            ring(&[1, 4]),
+            ring(&[5, 1]),
+        ]);
+        let all: Vec<RsId> = idx.ids().collect();
+        assert_eq!(
+            count_combinations(&idx, &all),
+            enumerate_combinations(&idx, &all).len() as u64
+        );
+    }
+
+    #[test]
+    fn limit_short_circuits() {
+        let idx = RingIndex::from_rings([ring(&[1, 2, 3, 4, 5]), ring(&[1, 2, 3, 4, 5])]);
+        let combos = enumerate_with_limit(&idx, &[RsId(0), RsId(1)], 3);
+        assert_eq!(combos.len(), 3);
+    }
+
+    #[test]
+    fn combination_order_matches_input_order() {
+        // Larger ring first in the input: outputs must still be input-ordered.
+        let idx = RingIndex::from_rings([ring(&[1, 2, 3]), ring(&[4])]);
+        let combos = enumerate_combinations(&idx, &[RsId(0), RsId(1)]);
+        for c in &combos {
+            assert!(idx.ring(RsId(0)).contains(c[0]));
+            assert_eq!(c[1], TokenId(4));
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Exact DTRS (definite token–RS pair set) computation — Definition 2 and
+//! Algorithm 3 (`GetDTRSs`) of the paper.
+//!
+//! A DTRS of a ring `r_k` is a *minimal* set of token–RS pairs which, if
+//! revealed to the adversary, pins down the historical transaction of the
+//! token consumed in `r_k`. Operationally: conditioning the possible worlds
+//! (token–RS combinations) on the pairs leaves only worlds where `r_k`'s
+//! consumed token comes from one single HT.
+//!
+//! The computation enumerates sub-multisets of combinations and is
+//! exponential — exactly as the hardness result demands. It is used by the
+//! exact BFS algorithm and by tests that validate the polynomial path of
+//! Theorem 6.1.
+
+use std::collections::BTreeSet;
+
+use crate::combination::Combination;
+
+use crate::types::{HtId, RsId, TokenRsPair, TokenUniverse};
+
+/// One definite token–RS pair set together with the HT it determines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dtrs {
+    /// The revealed pairs (sorted, for canonical comparison).
+    pub pairs: Vec<TokenRsPair>,
+    /// The HT of `r_k`'s consumed token once the pairs are known.
+    pub determined_ht: HtId,
+}
+
+impl Dtrs {
+    fn new(mut pairs: Vec<TokenRsPair>, determined_ht: HtId) -> Self {
+        pairs.sort_unstable();
+        Dtrs {
+            pairs,
+            determined_ht,
+        }
+    }
+
+    /// The tokens of the pair set (the "token set of a DTRS", Theorem 6.1).
+    pub fn tokens(&self) -> Vec<crate::types::TokenId> {
+        self.pairs.iter().map(|p| p.token).collect()
+    }
+}
+
+/// Whether every combination consistent with `pairs` assigns the target ring
+/// a token of the same HT; returns that HT if so.
+fn determined_ht(
+    combos: &[Combination],
+    rings: &[RsId],
+    target_slot: usize,
+    pairs: &BTreeSet<TokenRsPair>,
+    universe: &TokenUniverse,
+) -> Option<HtId> {
+    let mut ht: Option<HtId> = None;
+    let mut any = false;
+    'combo: for c in combos {
+        // Does this combination contain all the revealed pairs?
+        for p in pairs {
+            let slot = rings
+                .iter()
+                .position(|&r| r == p.rs)
+                .expect("pair references a ring outside the analysis set");
+            if c[slot] != p.token {
+                continue 'combo;
+            }
+        }
+        any = true;
+        let h = universe.ht(c[target_slot]);
+        match ht {
+            None => ht = Some(h),
+            Some(prev) if prev != h => return None,
+            _ => {}
+        }
+    }
+    if any {
+        ht
+    } else {
+        None
+    }
+}
+
+/// Enumerate all DTRSs of `rings[target_slot]` given the full combination
+/// list `combos` over `rings` (as produced by
+/// [`crate::combination::enumerate_combinations`]).
+///
+/// Returns the minimal determining pair sets. When the HT is already
+/// determined with *no* side information (all combinations agree), the
+/// result is a single empty DTRS — the ring has no anonymity at the HT
+/// level and any diversity requirement with ℓ ≥ 1 should treat it as failed.
+pub fn enumerate_dtrs(
+    combos: &[Combination],
+    rings: &[RsId],
+    target_slot: usize,
+    universe: &TokenUniverse,
+) -> Vec<Dtrs> {
+    assert!(target_slot < rings.len());
+    if combos.is_empty() {
+        return Vec::new();
+    }
+
+    // Size 0: already determined?
+    let empty = BTreeSet::new();
+    if let Some(ht) = determined_ht(combos, rings, target_slot, &empty, universe) {
+        return vec![Dtrs::new(Vec::new(), ht)];
+    }
+
+    let n = rings.len();
+    let mut found: Vec<Dtrs> = Vec::new();
+    let mut found_sets: Vec<BTreeSet<TokenRsPair>> = Vec::new();
+
+    // Candidate pair sets must be simultaneously satisfiable, i.e. subsets
+    // of some combination (restricted to non-target slots) — Algorithm 3
+    // enumerates them per combination; we dedupe across combinations.
+    let mut seen: BTreeSet<Vec<TokenRsPair>> = BTreeSet::new();
+    for size in 1..n {
+        let mut this_size: Vec<BTreeSet<TokenRsPair>> = Vec::new();
+        for c in combos {
+            let pool: Vec<TokenRsPair> = (0..n)
+                .filter(|&i| i != target_slot)
+                .map(|i| TokenRsPair::new(c[i], rings[i]))
+                .collect();
+            // all `size`-subsets of pool
+            subsets(&pool, size, &mut |subset| {
+                let key: Vec<TokenRsPair> = {
+                    let mut v = subset.to_vec();
+                    v.sort_unstable();
+                    v
+                };
+                if !seen.insert(key.clone()) {
+                    return;
+                }
+                let set: BTreeSet<TokenRsPair> = key.iter().copied().collect();
+                // Minimality: skip supersets of already-found DTRSs.
+                if found_sets.iter().any(|f| f.is_subset(&set)) {
+                    return;
+                }
+                this_size.push(set);
+            });
+        }
+        for set in this_size {
+            if let Some(ht) = determined_ht(combos, rings, target_slot, &set, universe) {
+                found.push(Dtrs::new(set.iter().copied().collect(), ht));
+                found_sets.push(set);
+            }
+        }
+    }
+    found.sort_by(|a, b| a.pairs.cmp(&b.pairs));
+    found
+}
+
+/// Visit all `k`-subsets of `pool`.
+fn subsets<F: FnMut(&[TokenRsPair])>(pool: &[TokenRsPair], k: usize, f: &mut F) {
+    fn rec<F: FnMut(&[TokenRsPair])>(
+        pool: &[TokenRsPair],
+        k: usize,
+        start: usize,
+        acc: &mut Vec<TokenRsPair>,
+        f: &mut F,
+    ) {
+        if acc.len() == k {
+            f(acc);
+            return;
+        }
+        let need = k - acc.len();
+        for i in start..=pool.len().saturating_sub(need) {
+            acc.push(pool[i]);
+            rec(pool, k, i + 1, acc, f);
+            acc.pop();
+        }
+    }
+    if k <= pool.len() {
+        rec(pool, k, 0, &mut Vec::with_capacity(k), f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combination::enumerate_combinations;
+    use crate::related::RingIndex;
+    use crate::types::{ring, TokenId};
+
+    /// Example 2 of the paper: five rings; t5, t6 share HT h1; all other
+    /// tokens have distinct HTs.
+    fn example2() -> (RingIndex, TokenUniverse) {
+        // token ids 1..=6 (0 is unused filler)
+        let idx = RingIndex::from_rings([
+            ring(&[1, 2, 5]), // r1 = id 0
+            ring(&[1, 3]),    // r2 = id 1
+            ring(&[1, 3]),    // r3 = id 2
+            ring(&[2, 4]),    // r4 = id 3
+            ring(&[4, 5, 6]), // r5 = id 4
+        ]);
+        // HTs: t1..t4 distinct (h2..h5), t5 and t6 both h1.
+        let uni = TokenUniverse::new(vec![
+            HtId(99), // t0 filler
+            HtId(2),
+            HtId(3),
+            HtId(4),
+            HtId(5),
+            HtId(1),
+            HtId(1),
+        ]);
+        (idx, uni)
+    }
+
+    #[test]
+    fn example2_t2_r1_is_dtrs_of_r5() {
+        // §2.3: {<t2, r1>} is a DTRS of r5 — it forces r4 to consume t4 and
+        // hence r5 to consume t5 or t6, both from h1.
+        let (idx, uni) = example2();
+        let rings: Vec<RsId> = idx.ids().collect();
+        let combos = enumerate_combinations(&idx, &rings);
+        let dtrs = enumerate_dtrs(&combos, &rings, 4, &uni);
+        let target = Dtrs::new(
+            vec![TokenRsPair::new(TokenId(2), RsId(0))],
+            HtId(1),
+        );
+        assert!(
+            dtrs.contains(&target),
+            "expected {{<t2,r1>}} among {dtrs:?}"
+        );
+    }
+
+    #[test]
+    fn example2_r4_has_three_singleton_dtrs() {
+        // §2.4: DTRSs of r4 are {<t4,r5>}, {<t5,r5>}, {<t2,r1>}.
+        let (idx, uni) = example2();
+        let rings: Vec<RsId> = idx.ids().collect();
+        let combos = enumerate_combinations(&idx, &rings);
+        let dtrs = enumerate_dtrs(&combos, &rings, 3, &uni);
+        let singletons: Vec<&Dtrs> = dtrs.iter().filter(|d| d.pairs.len() == 1).collect();
+        let expect = [
+            (TokenId(4), RsId(4)),
+            (TokenId(5), RsId(4)),
+            (TokenId(2), RsId(0)),
+        ];
+        for (t, r) in expect {
+            assert!(
+                singletons
+                    .iter()
+                    .any(|d| d.pairs[0] == TokenRsPair::new(t, r)),
+                "missing singleton DTRS <{t:?},{r:?}> in {singletons:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn determined_without_side_info_gives_empty_dtrs() {
+        // r1 = r2 = {1,2}, target r3 = {2,3}: every world has r3 → t3.
+        let idx = RingIndex::from_rings([ring(&[1, 2]), ring(&[1, 2]), ring(&[2, 3])]);
+        let uni = TokenUniverse::new(vec![HtId(0), HtId(1), HtId(2), HtId(3)]);
+        let rings: Vec<RsId> = idx.ids().collect();
+        let combos = enumerate_combinations(&idx, &rings);
+        let dtrs = enumerate_dtrs(&combos, &rings, 2, &uni);
+        assert_eq!(dtrs.len(), 1);
+        assert!(dtrs[0].pairs.is_empty());
+        assert_eq!(dtrs[0].determined_ht, HtId(3));
+    }
+
+    #[test]
+    fn homogeneous_ring_is_determined_by_ht_not_token() {
+        // target {1, 2} with both tokens from the same HT: empty DTRS —
+        // the homogeneity attack needs no side information at all.
+        let idx = RingIndex::from_rings([ring(&[1, 2])]);
+        let uni = TokenUniverse::new(vec![HtId(9), HtId(5), HtId(5)]);
+        let rings: Vec<RsId> = idx.ids().collect();
+        let combos = enumerate_combinations(&idx, &rings);
+        let dtrs = enumerate_dtrs(&combos, &rings, 0, &uni);
+        assert_eq!(dtrs.len(), 1);
+        assert!(dtrs[0].pairs.is_empty());
+        assert_eq!(dtrs[0].determined_ht, HtId(5));
+    }
+
+    #[test]
+    fn minimality_no_dtrs_contains_another() {
+        let (idx, uni) = example2();
+        let rings: Vec<RsId> = idx.ids().collect();
+        let combos = enumerate_combinations(&idx, &rings);
+        for slot in 0..rings.len() {
+            let dtrs = enumerate_dtrs(&combos, &rings, slot, &uni);
+            for a in &dtrs {
+                for b in &dtrs {
+                    if a != b {
+                        let sa: BTreeSet<_> = a.pairs.iter().collect();
+                        let sb: BTreeSet<_> = b.pairs.iter().collect();
+                        assert!(!sa.is_subset(&sb), "{a:?} ⊆ {b:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_diverse_ring_has_no_dtrs_from_unrelated_pairs() {
+        // Two disjoint rings with diverse HTs: pairs of the other ring never
+        // determine the target's HT.
+        let idx = RingIndex::from_rings([ring(&[1, 2]), ring(&[3, 4])]);
+        let uni = TokenUniverse::new(vec![HtId(9), HtId(0), HtId(1), HtId(2), HtId(3)]);
+        let rings: Vec<RsId> = idx.ids().collect();
+        let combos = enumerate_combinations(&idx, &rings);
+        let dtrs = enumerate_dtrs(&combos, &rings, 0, &uni);
+        assert!(dtrs.is_empty(), "got {dtrs:?}");
+    }
+
+    #[test]
+    fn revealing_other_token_of_target_ring_not_allowed() {
+        // Pairs about the *target itself* are excluded from DTRSs (a DTRS
+        // reveals other rings' spends, not the target's own spend).
+        let (idx, uni) = example2();
+        let rings: Vec<RsId> = idx.ids().collect();
+        let combos = enumerate_combinations(&idx, &rings);
+        for slot in 0..rings.len() {
+            for d in enumerate_dtrs(&combos, &rings, slot, &uni) {
+                for p in &d.pairs {
+                    assert_ne!(p.rs, rings[slot]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! HT frequency histograms over token sets.
+//!
+//! The recursive (c, ℓ)-diversity condition is evaluated over the sorted
+//! frequency vector `q_1 >= q_2 >= ... >= q_θ` of the historical
+//! transactions (HTs) that produced the tokens of a set. This module builds
+//! that vector.
+
+use std::collections::HashMap;
+
+use crate::types::{HtId, RingSet, TokenId, TokenUniverse};
+
+/// A sorted (descending) frequency vector of HT occurrence counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HtHistogram {
+    /// `q[0] = q_1` — the count of the most frequent HT, and so on.
+    q: Vec<usize>,
+    /// Number of distinct HTs (`θ`).
+    theta: usize,
+}
+
+impl HtHistogram {
+    /// Histogram over an explicit list of HT values.
+    pub fn from_hts<I: IntoIterator<Item = HtId>>(hts: I) -> Self {
+        let mut counts: HashMap<HtId, usize> = HashMap::new();
+        for h in hts {
+            *counts.entry(h).or_insert(0) += 1;
+        }
+        let mut q: Vec<usize> = counts.into_values().collect();
+        q.sort_unstable_by(|a, b| b.cmp(a));
+        let theta = q.len();
+        HtHistogram { q, theta }
+    }
+
+    /// Histogram over the tokens of a ring, resolving HTs via the universe.
+    pub fn from_ring(ring: &RingSet, universe: &TokenUniverse) -> Self {
+        Self::from_hts(ring.tokens().iter().map(|t| universe.ht(*t)))
+    }
+
+    /// Histogram over an arbitrary token slice.
+    pub fn from_tokens(tokens: &[TokenId], universe: &TokenUniverse) -> Self {
+        Self::from_hts(tokens.iter().map(|t| universe.ht(*t)))
+    }
+
+    /// `q_1` — count of the most frequent HT (0 for an empty set).
+    pub fn q1(&self) -> usize {
+        self.q.first().copied().unwrap_or(0)
+    }
+
+    /// `q_i` with the paper's 1-based indexing; 0 beyond `θ`.
+    pub fn q(&self, i: usize) -> usize {
+        debug_assert!(i >= 1, "q is 1-indexed in the paper");
+        self.q.get(i - 1).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct HTs (`θ`).
+    pub fn theta(&self) -> usize {
+        self.theta
+    }
+
+    /// Total number of tokens counted.
+    pub fn total(&self) -> usize {
+        self.q.iter().sum()
+    }
+
+    /// `q_ℓ + q_{ℓ+1} + ... + q_θ` — the diversity tail sum (0 when ℓ > θ).
+    pub fn tail_sum(&self, l: usize) -> usize {
+        if l == 0 || l > self.theta {
+            return if l == 0 { self.total() } else { 0 };
+        }
+        self.q[l - 1..].iter().sum()
+    }
+
+    /// The sorted frequency vector.
+    pub fn frequencies(&self) -> &[usize] {
+        &self.q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ring;
+
+    fn uni() -> TokenUniverse {
+        // tokens 0..6 with HTs: h0,h0,h0,h1,h1,h2
+        TokenUniverse::new(vec![
+            HtId(0),
+            HtId(0),
+            HtId(0),
+            HtId(1),
+            HtId(1),
+            HtId(2),
+        ])
+    }
+
+    #[test]
+    fn sorted_descending() {
+        let h = HtHistogram::from_ring(&ring(&[0, 1, 2, 3, 4, 5]), &uni());
+        assert_eq!(h.frequencies(), &[3, 2, 1]);
+        assert_eq!(h.theta(), 3);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn q_indexing_is_one_based() {
+        let h = HtHistogram::from_ring(&ring(&[0, 1, 3, 5]), &uni());
+        assert_eq!(h.q(1), 2);
+        assert_eq!(h.q(2), 1);
+        assert_eq!(h.q(3), 1);
+        assert_eq!(h.q(4), 0);
+    }
+
+    #[test]
+    fn tail_sum_examples() {
+        let h = HtHistogram::from_ring(&ring(&[0, 1, 2, 3, 4, 5]), &uni());
+        assert_eq!(h.tail_sum(1), 6);
+        assert_eq!(h.tail_sum(2), 3);
+        assert_eq!(h.tail_sum(3), 1);
+        assert_eq!(h.tail_sum(4), 0);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = HtHistogram::from_ring(&ring(&[]), &uni());
+        assert_eq!(h.q1(), 0);
+        assert_eq!(h.theta(), 0);
+        assert_eq!(h.tail_sum(1), 0);
+    }
+
+    #[test]
+    fn paper_section_2_5_example() {
+        // r3 = {t1, t3, t4}; t1, t3 from h1; t4 from h2 → q = [2, 1].
+        let u = TokenUniverse::new(vec![
+            HtId(9), // t0 unused filler
+            HtId(1), // t1
+            HtId(9), // t2 filler
+            HtId(1), // t3
+            HtId(2), // t4
+        ]);
+        let h = HtHistogram::from_ring(&ring(&[1, 3, 4]), &u);
+        assert_eq!(h.frequencies(), &[2, 1]);
+    }
+}

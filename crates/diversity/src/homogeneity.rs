@@ -1,0 +1,129 @@
+//! The homogeneity attack (§1, §2.4; t-closeness literature).
+//!
+//! If all candidate consumed tokens of a ring come from the same historical
+//! transaction, the adversary learns the HT of the consumed token without
+//! resolving the token itself — "the source of the consumed token can still
+//! be inferred as h_i".
+
+use std::collections::BTreeMap;
+
+use crate::chain_reaction::Analysis;
+use crate::types::{HtId, RingSet, RsId, TokenUniverse};
+
+/// Outcome of a homogeneity probe on one ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomogeneityReport {
+    /// The HT revealed, if the candidates are homogeneous.
+    pub revealed_ht: Option<HtId>,
+    /// Candidate-HT frequency map (for entropy-style inspection).
+    pub ht_counts: BTreeMap<HtId, usize>,
+}
+
+impl HomogeneityReport {
+    /// Whether the attack succeeded.
+    pub fn attack_succeeds(&self) -> bool {
+        self.revealed_ht.is_some()
+    }
+
+    /// The number of distinct HTs among the remaining candidates.
+    pub fn distinct_hts(&self) -> usize {
+        self.ht_counts.len()
+    }
+}
+
+/// Probe a raw ring (no chain-reaction pre-processing): homogeneous iff all
+/// its tokens share one HT.
+pub fn probe_ring(ring: &RingSet, universe: &TokenUniverse) -> HomogeneityReport {
+    let mut counts: BTreeMap<HtId, usize> = BTreeMap::new();
+    for &t in ring.tokens() {
+        *counts.entry(universe.ht(t)).or_insert(0) += 1;
+    }
+    HomogeneityReport {
+        revealed_ht: single_key(&counts),
+        ht_counts: counts,
+    }
+}
+
+/// Probe a ring *after* chain-reaction analysis: homogeneity over the
+/// surviving candidates only — the combined attack of §2.4 ("use side
+/// information to eliminate tokens ... and infer possible token-RS pairs by
+/// the frequency of HTs of remaining tokens").
+pub fn probe_analyzed(
+    analysis: &Analysis,
+    rs: RsId,
+    universe: &TokenUniverse,
+) -> HomogeneityReport {
+    let mut counts: BTreeMap<HtId, usize> = BTreeMap::new();
+    if let Some(cands) = analysis.candidates.get(&rs) {
+        for &t in cands {
+            *counts.entry(universe.ht(t)).or_insert(0) += 1;
+        }
+    }
+    HomogeneityReport {
+        revealed_ht: single_key(&counts),
+        ht_counts: counts,
+    }
+}
+
+fn single_key(counts: &BTreeMap<HtId, usize>) -> Option<HtId> {
+    if counts.len() == 1 {
+        counts.keys().next().copied()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain_reaction::analyze;
+    use crate::related::RingIndex;
+    use crate::types::{ring, TokenId, TokenRsPair};
+
+    #[test]
+    fn example1_first_solution_is_homogeneous() {
+        // r3 = {t1, t3}, both from h1 → attack succeeds.
+        let uni = TokenUniverse::new(vec![HtId(9), HtId(1), HtId(2), HtId(1), HtId(3)]);
+        let rep = probe_ring(&ring(&[1, 3]), &uni);
+        assert_eq!(rep.revealed_ht, Some(HtId(1)));
+        assert!(rep.attack_succeeds());
+    }
+
+    #[test]
+    fn diverse_ring_resists() {
+        let uni = TokenUniverse::new(vec![HtId(9), HtId(1), HtId(2), HtId(1), HtId(3)]);
+        let rep = probe_ring(&ring(&[1, 2, 4]), &uni);
+        assert_eq!(rep.revealed_ht, None);
+        assert_eq!(rep.distinct_hts(), 3);
+    }
+
+    #[test]
+    fn elimination_then_homogeneity() {
+        // §2.4's first method: r3 = {t1, t2, t3, t4}; adversary knows t2, t4
+        // are spent elsewhere; leftovers t1, t3 share h1 → revealed.
+        let uni = TokenUniverse::new(vec![HtId(9), HtId(1), HtId(2), HtId(1), HtId(3)]);
+        let idx = RingIndex::from_rings([
+            ring(&[1, 2, 3, 4]), // r3 (target, id 0)
+            ring(&[2, 5]),       // id 1
+            ring(&[4, 6]),       // id 2
+        ]);
+        let a = analyze(
+            &idx,
+            &[
+                TokenRsPair::new(TokenId(2), RsId(1)),
+                TokenRsPair::new(TokenId(4), RsId(2)),
+            ],
+        );
+        let rep = probe_analyzed(&a, RsId(0), &uni);
+        assert_eq!(rep.revealed_ht, Some(HtId(1)), "{a:?}");
+    }
+
+    #[test]
+    fn unknown_ring_id_yields_empty_report() {
+        let uni = TokenUniverse::new(vec![HtId(0)]);
+        let a = Analysis::default();
+        let rep = probe_analyzed(&a, RsId(7), &uni);
+        assert!(!rep.attack_succeeds());
+        assert_eq!(rep.distinct_hts(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dams-diversity
+//!
+//! Privacy semantics for the DA-MS reproduction (§§2–4 of the paper):
+//!
+//! * [`types`] — tokens, historical transactions, rings-as-token-sets;
+//! * [`histogram`] / [`recursive`] — the recursive (c, ℓ)-diversity model;
+//! * [`related`] — related RS sets (Definition 1);
+//! * [`combination`] — token–RS combinations / possible worlds (Definition 6);
+//! * [`matching`] — bipartite perfect matchings, the #P-hardness object;
+//! * [`dtrs`] — exact DTRS enumeration (Definition 2, Algorithm 3);
+//! * [`chain_reaction`] — the adversary engine (fast and exact modes);
+//! * [`homogeneity`] — the homogeneity attack;
+//! * [`side_info`] — adversary side information and its closure (Def. 3,
+//!   Theorem 6.2);
+//! * [`neighbor`] — Theorem 4.1 neighbour-set tracking and the η guard.
+
+pub mod chain_reaction;
+pub mod closeness;
+pub mod combination;
+pub mod dtrs;
+pub mod histogram;
+pub mod homogeneity;
+pub mod matching;
+pub mod metrics;
+pub mod neighbor;
+pub mod recursive;
+pub mod related;
+pub mod side_info;
+pub mod types;
+
+pub use chain_reaction::{analyze, analyze_exact, Analysis};
+pub use closeness::{emd_over_ids, is_t_close, total_variation};
+pub use combination::{enumerate_combinations, Combination};
+pub use dtrs::{enumerate_dtrs, Dtrs};
+pub use histogram::HtHistogram;
+pub use metrics::{batch_anonymity, ring_anonymity, BatchAnonymity, RingAnonymity};
+pub use neighbor::{EtaGuard, NeighborTracker};
+pub use recursive::DiversityRequirement;
+pub use related::RingIndex;
+pub use side_info::SideInformation;
+pub use types::{ring, HtId, RingSet, RsId, TokenId, TokenRsPair, TokenUniverse};

@@ -1,0 +1,165 @@
+//! The recursive (c, ℓ)-diversity condition (Definition 4 of the paper,
+//! borrowed from Machanavajjhala et al.'s ℓ-diversity principle).
+//!
+//! A multiset of sensitive values (here: the HTs of a ring's tokens)
+//! satisfies recursive (c, ℓ)-diversity when
+//!
+//! ```text
+//! q_1 < c * (q_ℓ + q_{ℓ+1} + ... + q_θ)
+//! ```
+//!
+//! where `q_i` is the count of the i-th most frequent HT and `θ` the number
+//! of distinct HTs. The experiments of §7 use fractional `c` (0.2 … 1), so
+//! `c` is a float here.
+
+use crate::histogram::HtHistogram;
+use crate::types::{RingSet, TokenUniverse};
+
+/// A user's diversity requirement `(c_τ, ℓ_τ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiversityRequirement {
+    /// Multiplier `c` (> 0). Larger `c` relaxes the constraint.
+    pub c: f64,
+    /// Tail index `ℓ` (>= 1). Larger `ℓ` tightens the constraint.
+    pub l: usize,
+}
+
+impl DiversityRequirement {
+    /// Construct, validating the parameter domain.
+    ///
+    /// Panics on `c <= 0` or `l == 0` — both make the predicate degenerate
+    /// and indicate a caller bug rather than a runtime condition.
+    pub fn new(c: f64, l: usize) -> Self {
+        assert!(c > 0.0, "recursive diversity needs c > 0, got {c}");
+        assert!(l >= 1, "recursive diversity needs l >= 1");
+        DiversityRequirement { c, l }
+    }
+
+    /// The second practical configuration (§6.1, Theorem 6.4): to guarantee
+    /// every DTRS of a new RS satisfies `(c, ℓ)`, the RS itself must satisfy
+    /// `(c, ℓ+1)`.
+    pub fn with_margin(self) -> Self {
+        DiversityRequirement {
+            c: self.c,
+            l: self.l + 1,
+        }
+    }
+
+    /// Evaluate the condition on a histogram.
+    pub fn satisfied_by(&self, hist: &HtHistogram) -> bool {
+        // Strict inequality per the definition. An empty set (q1 = 0) is
+        // only satisfied when the tail sum is positive — i.e. never — which
+        // matches the intuition that an empty ring carries no anonymity.
+        (hist.q1() as f64) < self.c * hist.tail_sum(self.l) as f64
+    }
+
+    /// Evaluate on a ring's token set directly.
+    pub fn satisfied_by_ring(&self, ring: &RingSet, universe: &TokenUniverse) -> bool {
+        self.satisfied_by(&HtHistogram::from_ring(ring, universe))
+    }
+
+    /// The slack `δ = q_1 - c * (q_ℓ + ... + q_θ)` used by the Progressive
+    /// algorithm's second phase (negative means satisfied).
+    pub fn slack(&self, hist: &HtHistogram) -> f64 {
+        hist.q1() as f64 - self.c * hist.tail_sum(self.l) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ring, HtId, TokenUniverse};
+
+    fn hist(freqs: &[usize]) -> HtHistogram {
+        // Expand a frequency vector into explicit HT values.
+        let mut hts = Vec::new();
+        for (i, &f) in freqs.iter().enumerate() {
+            for _ in 0..f {
+                hts.push(HtId(i as u32));
+            }
+        }
+        HtHistogram::from_hts(hts)
+    }
+
+    #[test]
+    fn paper_section_2_5_first_requirement() {
+        // HTs of r3 are {h1, h1, h2}: q = [2, 1].
+        // (2, 1)-diversity: q1 < 2 * (q1 + q2) → 2 < 2 * 3 ✓
+        let h = hist(&[2, 1]);
+        assert!(DiversityRequirement::new(2.0, 1).satisfied_by(&h));
+        // DTRS HTs {h1, h1}: q = [2]; (2,1): 2 < 2*2 ✓
+        let d = hist(&[2]);
+        assert!(DiversityRequirement::new(2.0, 1).satisfied_by(&d));
+    }
+
+    #[test]
+    fn paper_section_2_5_second_requirement() {
+        // (3, 2)-diversity on q = [2, 1]: 2 < 3 * 1 ✓ (first condition holds)
+        let h = hist(&[2, 1]);
+        assert!(DiversityRequirement::new(3.0, 2).satisfied_by(&h));
+        // but DTRS q = [2]: θ = 1 < ℓ = 2 → tail 0 → 2 >= 3*0 ✗
+        let d = hist(&[2]);
+        assert!(!DiversityRequirement::new(3.0, 2).satisfied_by(&d));
+    }
+
+    #[test]
+    fn empty_set_never_satisfies() {
+        let h = hist(&[]);
+        assert!(!DiversityRequirement::new(1.0, 1).satisfied_by(&h));
+    }
+
+    #[test]
+    fn uniform_distribution_satisfies_when_l_small() {
+        // 10 distinct HTs once each: q1 = 1, tail(2) = 9.
+        let h = hist(&[1; 10]);
+        assert!(DiversityRequirement::new(0.2, 2).satisfied_by(&h)); // 1 < 1.8
+        assert!(!DiversityRequirement::new(0.1, 2).satisfied_by(&h)); // 1 >= 0.9
+        assert!(!DiversityRequirement::new(0.2, 11).satisfied_by(&h)); // tail 0
+    }
+
+    #[test]
+    fn strictness_of_inequality() {
+        // q = [2, 2]: (1, 2): 2 < 1 * 2 is false (strict).
+        let h = hist(&[2, 2]);
+        assert!(!DiversityRequirement::new(1.0, 2).satisfied_by(&h));
+        // but c slightly larger passes.
+        assert!(DiversityRequirement::new(1.01, 2).satisfied_by(&h));
+    }
+
+    #[test]
+    fn slack_sign_matches_predicate() {
+        let req = DiversityRequirement::new(0.6, 3);
+        for freqs in [&[4usize, 2, 1][..], &[1, 1, 1, 1], &[5], &[2, 2, 2, 2]] {
+            let h = hist(freqs);
+            assert_eq!(req.satisfied_by(&h), req.slack(&h) < 0.0, "{freqs:?}");
+        }
+    }
+
+    #[test]
+    fn margin_increments_l() {
+        let req = DiversityRequirement::new(0.6, 40);
+        let m = req.with_margin();
+        assert_eq!(m.l, 41);
+        assert_eq!(m.c, 0.6);
+    }
+
+    #[test]
+    fn ring_level_evaluation() {
+        let u = TokenUniverse::new(vec![HtId(0), HtId(0), HtId(1), HtId(2)]);
+        let r = ring(&[0, 1, 2, 3]); // HTs: h0,h0,h1,h2 → q=[2,1,1]
+        assert!(DiversityRequirement::new(2.0, 2).satisfied_by_ring(&r, &u)); // 2 < 2*2
+        assert!(!DiversityRequirement::new(1.0, 2).satisfied_by_ring(&r, &u)); // 2 >= 2
+    }
+
+    #[test]
+    #[should_panic(expected = "c > 0")]
+    fn zero_c_rejected() {
+        DiversityRequirement::new(0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "l >= 1")]
+    fn zero_l_rejected() {
+        DiversityRequirement::new(1.0, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests on the diversity crate's core invariants.
+
+use proptest::prelude::*;
+
+use dams_diversity::{
+    analyze, analyze_exact, enumerate_combinations, DiversityRequirement, HtHistogram, HtId,
+    RingIndex, RingSet, TokenId, TokenUniverse,
+};
+
+fn ring_strategy(n: u32) -> impl Strategy<Value = RingSet> {
+    prop::collection::btree_set(0..n, 1..=n as usize)
+        .prop_map(|s| RingSet::new(s.into_iter().map(TokenId)))
+}
+
+fn rings_strategy(n: u32, max_rings: usize) -> impl Strategy<Value = Vec<RingSet>> {
+    prop::collection::vec(ring_strategy(n), 0..=max_rings)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // --- RingSet algebra ---
+
+    #[test]
+    fn union_is_commutative_and_superset(a in ring_strategy(12), b in ring_strategy(12)) {
+        let u1 = a.union(&b);
+        let u2 = b.union(&a);
+        prop_assert_eq!(&u1, &u2);
+        prop_assert!(u1.is_superset(&a));
+        prop_assert!(u1.is_superset(&b));
+        prop_assert!(u1.len() <= a.len() + b.len());
+    }
+
+    #[test]
+    fn difference_disjoint_from_subtrahend(a in ring_strategy(12), b in ring_strategy(12)) {
+        let d = a.difference(&b);
+        prop_assert!(!d.intersects(&b) || d.is_empty());
+        prop_assert!(a.is_superset(&d));
+        prop_assert_eq!(d.len() + a.tokens().iter().filter(|t| b.contains(**t)).count(), a.len());
+    }
+
+    #[test]
+    fn intersects_iff_common_token(a in ring_strategy(10), b in ring_strategy(10)) {
+        let brute = a.tokens().iter().any(|t| b.contains(*t));
+        prop_assert_eq!(a.intersects(&b), brute);
+    }
+
+    // --- Histogram invariants ---
+
+    #[test]
+    fn histogram_sorted_and_total(hts in prop::collection::vec(0u32..6, 0..30)) {
+        let h = HtHistogram::from_hts(hts.iter().map(|&x| HtId(x)));
+        let q = h.frequencies();
+        prop_assert!(q.windows(2).all(|w| w[0] >= w[1]), "descending");
+        prop_assert_eq!(h.total(), hts.len());
+        let distinct: std::collections::BTreeSet<u32> = hts.iter().copied().collect();
+        prop_assert_eq!(h.theta(), distinct.len());
+        // tail sums telescope
+        for l in 1..=h.theta() + 1 {
+            prop_assert_eq!(h.tail_sum(l), q.iter().skip(l - 1).sum::<usize>());
+        }
+    }
+
+    // --- Diversity monotonicity ---
+
+    #[test]
+    fn diversity_monotone_in_c(
+        hts in prop::collection::vec(0u32..5, 1..20),
+        c1 in 0.1f64..2.0,
+        c2 in 0.1f64..2.0,
+        l in 1usize..5,
+    ) {
+        // Larger c relaxes the constraint.
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let h = HtHistogram::from_hts(hts.into_iter().map(HtId));
+        if DiversityRequirement::new(lo, l).satisfied_by(&h) {
+            prop_assert!(DiversityRequirement::new(hi, l).satisfied_by(&h));
+        }
+    }
+
+    #[test]
+    fn diversity_antitone_in_l(
+        hts in prop::collection::vec(0u32..5, 1..20),
+        c in 0.1f64..2.0,
+        l in 1usize..5,
+    ) {
+        // Larger ℓ tightens the constraint.
+        let h = HtHistogram::from_hts(hts.into_iter().map(HtId));
+        if DiversityRequirement::new(c, l + 1).satisfied_by(&h) {
+            prop_assert!(DiversityRequirement::new(c, l).satisfied_by(&h));
+        }
+    }
+
+    // --- Combination model ---
+
+    #[test]
+    fn combinations_are_injective_assignments(rings in rings_strategy(6, 4)) {
+        let idx = RingIndex::from_rings(rings);
+        let ids: Vec<_> = idx.ids().collect();
+        let combos = enumerate_combinations(&idx, &ids);
+        for combo in &combos {
+            // each ring consumes a token it contains
+            for (slot, &t) in combo.iter().enumerate() {
+                prop_assert!(idx.ring(ids[slot]).contains(t));
+            }
+            // no token consumed twice
+            let set: std::collections::BTreeSet<_> = combo.iter().collect();
+            prop_assert_eq!(set.len(), combo.len());
+        }
+    }
+
+    // --- Matching adversary == exact adversary ---
+
+    #[test]
+    fn analyze_equals_exact_on_small_instances(rings in rings_strategy(6, 4)) {
+        let idx = RingIndex::from_rings(rings);
+        let fast = analyze(&idx, &[]);
+        let exact = analyze_exact(&idx, &[]);
+        if exact.contradictions.is_empty() {
+            prop_assert_eq!(&fast.candidates, &exact.candidates);
+            prop_assert_eq!(&fast.consumed_somewhere, &exact.consumed_somewhere);
+            prop_assert_eq!(&fast.proven, &exact.proven);
+        } else {
+            prop_assert!(!fast.contradictions.is_empty());
+        }
+    }
+
+    #[test]
+    fn analyze_with_side_info_equals_exact(
+        rings in rings_strategy(5, 3),
+        pin_slot in 0usize..3,
+        pin_token in 0u32..5,
+    ) {
+        let idx = RingIndex::from_rings(rings);
+        prop_assume!(idx.len() > pin_slot);
+        let rs = dams_diversity::RsId(pin_slot as u32);
+        prop_assume!(idx.ring(rs).contains(TokenId(pin_token)));
+        let si = [dams_diversity::TokenRsPair::new(TokenId(pin_token), rs)];
+        let fast = analyze(&idx, &si);
+        let exact = analyze_exact(&idx, &si);
+        if exact.contradictions.is_empty() && fast.contradictions.is_empty() {
+            prop_assert_eq!(&fast.candidates, &exact.candidates);
+        }
+    }
+
+    // --- Universe sanity ---
+
+    #[test]
+    fn universe_distinct_hts_bound(hts in prop::collection::vec(0u32..8, 0..40)) {
+        let u = TokenUniverse::new(hts.iter().map(|&h| HtId(h)).collect());
+        prop_assert!(u.distinct_hts() <= u.len());
+        prop_assert_eq!(u.tokens().count(), u.len());
+    }
+}

@@ -1,0 +1,28 @@
+//! # dams-node
+//!
+//! Verifier-side node integration tying the substrates together:
+//!
+//! * [`verifier`] — Step-3 ring-configuration checks miners run when
+//!   blocking transactions (TokenMagic batch membership, the first
+//!   practical configuration, a claimed-diversity floor, Monero-style
+//!   recency, and combinators);
+//! * [`views`] — full-node / light-node batch views with the §4 consensus
+//!   property;
+//! * [`validate`] — the polynomial Definition-5 validator wallets run
+//!   before broadcasting and auditors run over blocks.
+
+pub mod auditor;
+pub mod network;
+pub mod report;
+pub mod validate;
+pub mod verifier;
+pub mod wallet;
+pub mod views;
+
+pub use auditor::{audit, chain_view, AuditReport, ChainView};
+pub use network::{BlockAnnouncement, Bus, SimNode};
+pub use report::render_report;
+pub use validate::{validate_ring, Verdict};
+pub use verifier::{AllOf, RecencyConfiguration, TokenMagicConfiguration};
+pub use views::{BatchProvider, FullNode, LightNode};
+pub use wallet::{Wallet, WalletError};

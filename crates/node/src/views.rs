@@ -1,0 +1,146 @@
+//! Full-node and light-node batch views (§4).
+//!
+//! Full nodes hold the whole chain and build the batch list locally; light
+//! nodes hold nothing and query batch data from a full node. Because the
+//! batch list is a deterministic function of the block list and the public
+//! parameter λ, both views agree — the consensus property the paper relies
+//! on to make mixin universes well-defined network-wide.
+
+use dams_blockchain::{Batch, BatchList, Chain, TokenId};
+
+/// What a light node can ask a full node.
+pub trait BatchProvider {
+    /// The batch containing `token`, if the token exists.
+    fn batch_of(&self, token: TokenId) -> Option<Batch>;
+    /// The mixin universe of `token` (the tokens of its batch).
+    fn mixin_universe(&self, token: TokenId) -> Option<Vec<TokenId>>;
+    /// Number of batches currently known.
+    fn batch_count(&self) -> usize;
+}
+
+/// A full node: owns the chain and serves batch queries.
+pub struct FullNode {
+    chain: Chain,
+    lambda: usize,
+}
+
+impl FullNode {
+    pub fn new(chain: Chain, lambda: usize) -> Self {
+        FullNode { chain, lambda }
+    }
+
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    pub fn chain_mut(&mut self) -> &mut Chain {
+        &mut self.chain
+    }
+
+    /// Rebuild the batch list from local state.
+    pub fn batch_list(&self) -> BatchList {
+        BatchList::build(&self.chain, self.lambda)
+    }
+}
+
+impl BatchProvider for FullNode {
+    fn batch_of(&self, token: TokenId) -> Option<Batch> {
+        self.batch_list().batch_of(token).cloned()
+    }
+
+    fn mixin_universe(&self, token: TokenId) -> Option<Vec<TokenId>> {
+        self.batch_list().mixin_universe(token).map(<[_]>::to_vec)
+    }
+
+    fn batch_count(&self) -> usize {
+        self.batch_list().batches().len()
+    }
+}
+
+/// A light node: delegates every batch query to a provider (a full node,
+/// in a real network a remote peer).
+pub struct LightNode<'a, P: BatchProvider> {
+    provider: &'a P,
+}
+
+impl<'a, P: BatchProvider> LightNode<'a, P> {
+    pub fn new(provider: &'a P) -> Self {
+        LightNode { provider }
+    }
+
+    /// The mixin universe for a spend, as served by the provider.
+    pub fn mixin_universe(&self, token: TokenId) -> Option<Vec<TokenId>> {
+        self.provider.mixin_universe(token)
+    }
+
+    /// Cross-check a served batch against the public λ invariants (a light
+    /// node cannot recompute the list but can sanity-check what it gets).
+    pub fn plausible(&self, batch: &Batch, lambda: usize) -> bool {
+        (!batch.closed || batch.tokens.len() >= lambda)
+            && batch.first_block <= batch.last_block
+            && batch.tokens.windows(2).all(|w| w[0] < w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dams_blockchain::{Amount, TokenOutput};
+    use dams_crypto::{KeyPair, SchnorrGroup};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn node(blocks: usize, per_block: usize, lambda: usize) -> FullNode {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut chain = Chain::new(SchnorrGroup::default());
+        for _ in 0..blocks {
+            let outs = (0..per_block)
+                .map(|_| TokenOutput {
+                    owner: KeyPair::generate(chain.group(), &mut rng).public,
+                    amount: Amount(1),
+                })
+                .collect();
+            chain.submit_coinbase(outs);
+            chain.seal_block();
+        }
+        FullNode::new(chain, lambda)
+    }
+
+    #[test]
+    fn light_node_sees_full_node_batches() {
+        let full = node(6, 3, 7);
+        let light = LightNode::new(&full);
+        for t in 0..18u64 {
+            let from_light = light.mixin_universe(TokenId(t));
+            let from_full = full.batch_list().mixin_universe(TokenId(t)).map(<[_]>::to_vec);
+            assert_eq!(from_light, from_full);
+        }
+    }
+
+    #[test]
+    fn served_batches_are_plausible() {
+        let full = node(5, 4, 6);
+        let light = LightNode::new(&full);
+        for t in 0..20u64 {
+            if let Some(b) = full.batch_of(TokenId(t)) {
+                assert!(light.plausible(&b, 6), "{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn consensus_two_full_nodes_agree() {
+        // Two nodes that saw the same blocks derive identical batch lists.
+        let a = node(4, 5, 8);
+        let b = node(4, 5, 8);
+        assert_eq!(a.batch_list().batches(), b.batch_list().batches());
+        assert_eq!(a.batch_count(), b.batch_count());
+    }
+
+    #[test]
+    fn unknown_token_served_as_none() {
+        let full = node(2, 2, 4);
+        let light = LightNode::new(&full);
+        assert!(light.mixin_universe(TokenId(999)).is_none());
+    }
+}

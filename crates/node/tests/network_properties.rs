@@ -1,0 +1,84 @@
+//! Property tests for the network layer: consensus must hold under every
+//! delivery order and any gossip interleaving.
+
+use proptest::prelude::*;
+
+use dams_blockchain::{Amount, TokenOutput};
+use dams_crypto::{KeyPair, SchnorrGroup};
+use dams_node::{BlockAnnouncement, Bus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mine `blocks` coinbase blocks on node 0, collecting them.
+fn mine(bus: &mut Bus, blocks: usize, seed: u64) -> Vec<dams_blockchain::Block> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for _ in 0..blocks {
+        let group = *bus.nodes[0].chain().group();
+        let outs: Vec<TokenOutput> = (0..2)
+            .map(|_| TokenOutput {
+                owner: KeyPair::generate(&group, &mut rng).public,
+                amount: Amount(1),
+            })
+            .collect();
+        // Node 0 mines locally through its public chain handle.
+        let node = &mut bus.nodes[0];
+        let chain = node_chain_mut(node);
+        chain.submit_coinbase(outs);
+        chain.seal_block();
+        out.push(chain.blocks().last().expect("sealed").clone());
+    }
+    out
+}
+
+/// Test-only access to a node's chain (the `SimNode` field is private; we
+/// go through a helper the crate exposes for mining nodes).
+fn node_chain_mut(node: &mut dams_node::SimNode) -> &mut dams_blockchain::Chain {
+    node.chain_mut()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any permutation of block delivery converges to the miner's chain.
+    #[test]
+    fn convergence_under_any_delivery_order(
+        perm in prop::collection::vec(0usize..1000, 5..=5),
+        seed in 0u64..100,
+    ) {
+        let group = SchnorrGroup::default();
+        let mut bus = Bus::new(3, group);
+        let blocks = mine(&mut bus, 5, seed);
+        // Deliver to nodes 1 and 2 in the permuted order.
+        let mut order: Vec<usize> = (0..blocks.len()).collect();
+        order.sort_by_key(|&i| perm[i]);
+        for &i in &order {
+            bus.nodes[1].deliver(BlockAnnouncement { block: blocks[i].clone() });
+        }
+        for &i in order.iter().rev() {
+            bus.nodes[2].deliver(BlockAnnouncement { block: blocks[i].clone() });
+        }
+        bus.settle();
+        prop_assert!(bus.converged());
+        prop_assert!(bus.batch_consensus(4));
+    }
+
+    /// Dropping a middle block stalls convergence exactly until redelivery.
+    #[test]
+    fn missing_block_stalls_then_heals(drop_idx in 0usize..4, seed in 0u64..50) {
+        let group = SchnorrGroup::default();
+        let mut bus = Bus::new(2, group);
+        let blocks = mine(&mut bus, 4, seed);
+        for (i, b) in blocks.iter().enumerate() {
+            if i != drop_idx {
+                bus.nodes[1].deliver(BlockAnnouncement { block: b.clone() });
+            }
+        }
+        bus.settle();
+        prop_assert!(!bus.converged(), "converged without block {drop_idx}");
+        // Redeliver the missing block: the orphan pool heals the gap.
+        bus.nodes[1].deliver(BlockAnnouncement { block: blocks[drop_idx].clone() });
+        bus.settle();
+        prop_assert!(bus.converged());
+    }
+}

@@ -1,0 +1,23 @@
+//! # dams-workload
+//!
+//! Workload generation for the DA-MS experiments (§7.1):
+//!
+//! * [`synthetic`] — Table 3 instances (|S|, |s_i|, |F|, σ);
+//! * [`real`] — the simulated Monero snapshot (285 txs / 633 tokens /
+//!   57 super RSs / 6 fresh tokens, Figure 3 output distribution);
+//! * [`sampler`] — the shared measure-1000-instances loop;
+//! * [`chainload`] — materialise a workload on the actual blockchain
+//!   substrate (mint tokens, commit ring transactions end-to-end).
+
+pub mod chainload;
+pub mod simulation;
+pub mod real;
+pub mod sampler;
+pub mod synthetic;
+pub mod trace;
+
+pub use real::{monero_snapshot, output_histogram};
+pub use sampler::{measure, measure_framework, MeasuredPoint};
+pub use simulation::{simulate_batch, SimulationConfig, SimulationOutcome};
+pub use synthetic::{small_universe, HtModel, SyntheticConfig};
+pub use trace::{run_trace, TraceConfig, TraceOutcome};

@@ -1,0 +1,174 @@
+//! The simulated Monero snapshot matching §7.1's real data set.
+//!
+//! The paper retrieves Monero blocks 2,028,242–2,028,273 (one hour of
+//! chain): **285 transactions, 633 tokens**. Figure 3 shows the
+//! distribution of outputs per transaction — two-output transactions
+//! dominate (Monero wallets always mint a change output). From those
+//! tokens the paper derives **57 super RSs of 11 tokens each** (Monero's
+//! standard ring size) and **6 fresh tokens**: 57 × 11 + 6 = 633.
+//!
+//! We cannot ship the proprietary-infrastructure-free but large Monero
+//! chain, so this module reconstructs a snapshot with *exactly* those
+//! published statistics (see DESIGN.md's substitution table). The DA-MS
+//! algorithms consume only (a) token→HT assignment and (b) the module
+//! decomposition, both of which are matched.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use dams_core::{ModularInstance, Module, ModuleId, ModuleKind};
+use dams_diversity::{HtId, RingSet, RsId, TokenId, TokenUniverse};
+
+/// Number of transactions in the paper's snapshot.
+pub const NUM_TRANSACTIONS: usize = 285;
+/// Number of output tokens in the paper's snapshot.
+pub const NUM_TOKENS: usize = 633;
+/// Number of super RSs derived in §7.1.
+pub const NUM_SUPER_RS: usize = 57;
+/// Monero's standard ring size at the snapshot height.
+pub const SUPER_RS_SIZE: usize = 11;
+/// Number of fresh tokens in §7.1.
+pub const NUM_FRESH: usize = 6;
+
+/// The outputs-per-transaction histogram of Figure 3 as `(outputs, #txs)`.
+///
+/// Reconstructed to the figure's qualitative content: 2-output
+/// transactions dominate, a minority mint 1 or 3–16. Row sums: 285
+/// transactions, 633 tokens.
+pub const OUTPUT_HISTOGRAM: &[(usize, usize)] = &[
+    (1, 28),
+    (2, 222),
+    (3, 20),
+    (4, 6),
+    (5, 3),
+    (6, 2),
+    (8, 1),
+    (10, 1),
+    (16, 2),
+];
+
+/// The Figure 3 histogram as a checked invariant.
+pub fn output_histogram() -> Vec<(usize, usize)> {
+    OUTPUT_HISTOGRAM.to_vec()
+}
+
+/// Generate the simulated snapshot: a modular instance with 633 tokens
+/// from 285 HTs, 57 random 11-token super RSs and 6 fresh tokens.
+///
+/// The randomness shuffles which tokens land in which super RS (the paper:
+/// "For each super RSs, it randomly selects 11 tokens"); the HT structure
+/// is fixed by the histogram.
+pub fn monero_snapshot<R: Rng + ?Sized>(rng: &mut R) -> ModularInstance {
+    // Token → HT: transaction i mints `outputs` tokens, all with HT i.
+    let mut ht_of: Vec<HtId> = Vec::with_capacity(NUM_TOKENS);
+    let mut ht = 0u32;
+    for &(outputs, tx_count) in OUTPUT_HISTOGRAM {
+        for _ in 0..tx_count {
+            for _ in 0..outputs {
+                ht_of.push(HtId(ht));
+            }
+            ht += 1;
+        }
+    }
+    debug_assert_eq!(ht_of.len(), NUM_TOKENS);
+    debug_assert_eq!(ht as usize, NUM_TRANSACTIONS);
+    let universe = TokenUniverse::new(ht_of);
+
+    // Shuffle token ids, deal 57 super RSs of 11, leave 6 fresh.
+    let mut ids: Vec<TokenId> = (0..NUM_TOKENS as u32).map(TokenId).collect();
+    ids.shuffle(rng);
+    let mut modules = Vec::with_capacity(NUM_SUPER_RS + NUM_FRESH);
+    for s in 0..NUM_SUPER_RS {
+        let tokens: RingSet = ids[s * SUPER_RS_SIZE..(s + 1) * SUPER_RS_SIZE]
+            .iter()
+            .copied()
+            .collect();
+        modules.push(Module {
+            id: ModuleId(s),
+            kind: ModuleKind::SuperRs(RsId(s as u32)),
+            tokens,
+        });
+    }
+    for (f, &t) in ids[NUM_SUPER_RS * SUPER_RS_SIZE..].iter().enumerate() {
+        modules.push(Module {
+            id: ModuleId(NUM_SUPER_RS + f),
+            kind: ModuleKind::FreshToken,
+            tokens: RingSet::new([t]),
+        });
+    }
+    ModularInstance::from_modules(universe, modules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn histogram_sums_match_paper() {
+        let txs: usize = OUTPUT_HISTOGRAM.iter().map(|(_, n)| n).sum();
+        let tokens: usize = OUTPUT_HISTOGRAM.iter().map(|(o, n)| o * n).sum();
+        assert_eq!(txs, NUM_TRANSACTIONS);
+        assert_eq!(tokens, NUM_TOKENS);
+    }
+
+    #[test]
+    fn two_output_transactions_dominate() {
+        // Fig 3: "Most transactions output two tokens."
+        let two = OUTPUT_HISTOGRAM
+            .iter()
+            .find(|(o, _)| *o == 2)
+            .map(|(_, n)| *n)
+            .unwrap();
+        for &(o, n) in OUTPUT_HISTOGRAM {
+            if o != 2 {
+                assert!(n < two, "{o}-output txs ({n}) rival 2-output ({two})");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_structure() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = monero_snapshot(&mut rng);
+        assert_eq!(inst.universe.len(), NUM_TOKENS);
+        assert_eq!(inst.super_count(), NUM_SUPER_RS);
+        assert_eq!(inst.fresh_count(), NUM_FRESH);
+        assert_eq!(inst.universe.distinct_hts(), NUM_TRANSACTIONS);
+        for m in inst.modules() {
+            match m.kind {
+                ModuleKind::SuperRs(_) => assert_eq!(m.len(), SUPER_RS_SIZE),
+                ModuleKind::FreshToken => assert_eq!(m.len(), 1),
+            }
+        }
+    }
+
+    #[test]
+    fn ht_distribution_nearly_uniform() {
+        // §7.1: "the distribution of HTs of tokens is almost uniform, and
+        // in a RS most q_i does not exceed 2" — the global max is 16
+        // (the two 16-output txs) but the median HT mints 2.
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = monero_snapshot(&mut rng);
+        assert_eq!(inst.q_max(), 16);
+        let hist = dams_diversity::HtHistogram::from_hts(
+            (0..NUM_TOKENS as u32).map(|t| inst.universe.ht(TokenId(t))),
+        );
+        let freqs = hist.frequencies();
+        let median = freqs[freqs.len() / 2];
+        assert_eq!(median, 2);
+    }
+
+    #[test]
+    fn snapshots_differ_by_seed_but_share_stats() {
+        let a = monero_snapshot(&mut StdRng::seed_from_u64(3));
+        let b = monero_snapshot(&mut StdRng::seed_from_u64(4));
+        assert_eq!(a.universe.len(), b.universe.len());
+        assert_eq!(a.q_max(), b.q_max());
+        // Module contents differ (different shuffles).
+        let ring_a = &a.modules()[0].tokens;
+        let ring_b = &b.modules()[0].tokens;
+        assert_ne!(ring_a, ring_b);
+    }
+}

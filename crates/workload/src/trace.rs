@@ -1,0 +1,237 @@
+//! Trace-driven multi-batch lifecycle simulation.
+//!
+//! §4's framework slices the chain into λ-token batches; a long-running
+//! system interleaves minting (new blocks opening new batches) with
+//! spending (rings confined to the spent token's batch). This module
+//! drives that lifecycle from a synthetic arrival trace: mint and spend
+//! events drawn from a geometric (discrete Poisson-like) process, spends
+//! targeting random unspent tokens of closed batches.
+//!
+//! It exercises the cross-batch invariants end-to-end: rings never span
+//! batches, per-batch histories stay laminar, and the final public record
+//! resists chain-reaction analysis batch by batch.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dams_core::{ModularHistory, PracticalAlgorithm, SelectionPolicy, TokenMagic};
+use dams_diversity::{analyze, HtId, NeighborTracker, TokenId, TokenUniverse};
+
+/// Trace parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Tokens per batch (λ).
+    pub lambda: usize,
+    /// Probability that a step mints a new HT (of 1–4 tokens) rather than
+    /// attempting a spend.
+    pub mint_probability: f64,
+    /// Total steps to simulate.
+    pub steps: usize,
+    pub algorithm: PracticalAlgorithm,
+    pub policy: SelectionPolicy,
+    /// η feasibility guard per batch (0 disables).
+    pub eta: f64,
+    pub seed: u64,
+}
+
+/// One batch's live state.
+struct BatchState {
+    /// Global ids of the batch's tokens.
+    base: u32,
+    history: ModularHistory,
+    tracker: NeighborTracker,
+    spent: Vec<bool>,
+}
+
+/// Outcome of a trace run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceOutcome {
+    pub minted_tokens: usize,
+    pub closed_batches: usize,
+    pub committed_spends: usize,
+    pub failed_spends: usize,
+    /// Rings resolvable by the adversary, summed over batches.
+    pub resolved_total: usize,
+    /// Whether any committed ring spanned two batches (must be false).
+    pub cross_batch_ring: bool,
+}
+
+/// Run the lifecycle trace.
+pub fn run_trace(cfg: TraceConfig) -> TraceOutcome {
+    assert!(cfg.lambda >= 2, "λ < 2 cannot host a ring");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let tm = TokenMagic::new(cfg.algorithm, cfg.policy).with_eta(cfg.eta);
+
+    // The open batch accumulates (token, ht) pairs until λ is reached.
+    let mut open: Vec<HtId> = Vec::new();
+    let mut open_base = 0u32;
+    let mut next_ht = 0u32;
+    let mut closed: Vec<BatchState> = Vec::new();
+
+    let mut minted_tokens = 0usize;
+    let mut committed = 0usize;
+    let mut failed = 0usize;
+
+    for _ in 0..cfg.steps {
+        let minting = closed.is_empty() || rng.gen_bool(cfg.mint_probability);
+        if minting {
+            // One HT minting 1–4 tokens into the open batch.
+            let outputs = rng.gen_range(1..=4usize);
+            for _ in 0..outputs {
+                open.push(HtId(next_ht));
+                minted_tokens += 1;
+            }
+            next_ht += 1;
+            if open.len() >= cfg.lambda {
+                let universe = TokenUniverse::new(std::mem::take(&mut open));
+                let n = universe.len();
+                closed.push(BatchState {
+                    base: open_base,
+                    history: ModularHistory::fresh(universe),
+                    tracker: NeighborTracker::new(),
+                    spent: vec![false; n],
+                });
+                open_base += n as u32;
+            }
+        } else {
+            // Spend a random unspent token of a random closed batch.
+            let b = rng.gen_range(0..closed.len());
+            let batch = &mut closed[b];
+            let unspent: Vec<u32> = batch
+                .spent
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !**s)
+                .map(|(i, _)| i as u32)
+                .collect();
+            let Some(&local) = unspent.first().map(|_| {
+                &unspent[rng.gen_range(0..unspent.len())]
+            }) else {
+                failed += 1;
+                continue;
+            };
+            match tm.generate(
+                batch.history.instance(),
+                TokenId(local),
+                &batch.tracker,
+                &mut rng,
+            ) {
+                Ok(sel) => {
+                    batch.tracker.push(sel.ring.clone());
+                    batch.history.commit(&sel, cfg.policy.requirement);
+                    batch.spent[local as usize] = true;
+                    committed += 1;
+                }
+                Err(_) => failed += 1,
+            }
+        }
+    }
+
+    // Audit every closed batch independently (their related sets are
+    // disjoint by construction — the TokenMagic guarantee).
+    let mut resolved_total = 0usize;
+    let mut cross_batch = false;
+    for batch in &closed {
+        let analysis = analyze(batch.history.rings(), &[]);
+        resolved_total += analysis.resolved_count();
+        let n = batch.history.instance().universe.len() as u32;
+        for (_, ring) in batch.history.rings().iter() {
+            // Ring tokens are batch-local ids; anything >= n would mean a
+            // cross-batch leak.
+            if ring.tokens().iter().any(|t| t.0 >= n) {
+                cross_batch = true;
+            }
+        }
+        let _ = batch.base;
+    }
+
+    TraceOutcome {
+        minted_tokens,
+        closed_batches: closed.len(),
+        committed_spends: committed,
+        failed_spends: failed,
+        resolved_total,
+        cross_batch_ring: cross_batch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dams_diversity::DiversityRequirement;
+
+    fn cfg(steps: usize, seed: u64) -> TraceConfig {
+        TraceConfig {
+            lambda: 20,
+            mint_probability: 0.5,
+            steps,
+            algorithm: PracticalAlgorithm::Progressive,
+            policy: SelectionPolicy::new(DiversityRequirement::new(1.0, 4)),
+            eta: 0.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn trace_runs_and_stays_batch_local() {
+        let out = run_trace(cfg(200, 1));
+        assert!(out.closed_batches >= 1, "{out:?}");
+        assert!(out.committed_spends >= 1, "{out:?}");
+        assert!(!out.cross_batch_ring, "ring escaped its batch: {out:?}");
+    }
+
+    #[test]
+    fn long_trace_resolvability_stays_marginal() {
+        // §4's exhaustion phenomenon, reproduced: without the η guard,
+        // draining a batch eventually leaves late rings resolvable (the
+        // motivating dead-end for the guard). The damage stays marginal —
+        // a handful of rings out of hundreds — and the guarded run below
+        // trades commits for avoiding it.
+        let out = run_trace(cfg(400, 2));
+        assert!(out.committed_spends > 100, "{out:?}");
+        assert!(
+            out.resolved_total * 50 <= out.committed_spends,
+            "resolvability above 2%: {out:?}"
+        );
+    }
+
+    #[test]
+    fn eta_guard_trades_commits_for_batch_health() {
+        let mut unguarded = cfg(400, 2);
+        unguarded.eta = 0.0;
+        let mut guarded = cfg(400, 2);
+        guarded.eta = 0.04; // ~1/λ for λ = 20
+        let u = run_trace(unguarded);
+        let g = run_trace(guarded);
+        assert!(
+            g.committed_spends <= u.committed_spends,
+            "guard can only refuse: {g:?} vs {u:?}"
+        );
+        assert!(
+            g.resolved_total <= u.resolved_total,
+            "guard must not worsen resolvability: {g:?} vs {u:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(run_trace(cfg(150, 3)), run_trace(cfg(150, 3)));
+    }
+
+    #[test]
+    fn all_mint_trace_closes_batches_only() {
+        let mut c = cfg(100, 4);
+        c.mint_probability = 1.0;
+        let out = run_trace(c);
+        assert_eq!(out.committed_spends, 0);
+        assert!(out.closed_batches >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host a ring")]
+    fn tiny_lambda_rejected() {
+        let mut c = cfg(10, 5);
+        c.lambda = 1;
+        run_trace(c);
+    }
+}

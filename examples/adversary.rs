@@ -1,0 +1,78 @@
+//! Adversary demonstration: chain-reaction analysis and the homogeneity
+//! attack against naive vs diversity-aware mixin selection.
+//!
+//! Reproduces the paper's Example 1 narrative computationally: the three
+//! flawed selections are broken by the attacks, the DA-MS selection
+//! resists them.
+//!
+//! ```text
+//! cargo run --release --example adversary
+//! ```
+
+use dams_diversity::{
+    analyze, homogeneity::probe_ring, ring, HtId, RingIndex, RsId, TokenId, TokenRsPair,
+    TokenUniverse,
+};
+
+fn main() {
+    // Paper Example 1: tokens t1..t4 as ids 0..3.
+    // t1, t3 minted by h1; t2 by h2; t4 by h3.
+    let universe = TokenUniverse::new(vec![HtId(1), HtId(2), HtId(1), HtId(3)]);
+    // Existing rings: r1 = r2 = {t1, t2}.
+    let existing = [ring(&[0, 1]), ring(&[0, 1])];
+    println!("existing rings: r1 = r2 = {{t1, t2}}; goal: spend t3\n");
+
+    // --- Solution 1: r3 = {t1, t3} — homogeneity attack ---
+    let r3a = ring(&[0, 2]);
+    let probe = probe_ring(&r3a, &universe);
+    println!(
+        "solution 1, r3 = {{t1, t3}}: homogeneity attack succeeds = {} (HT revealed: {:?})",
+        probe.attack_succeeds(),
+        probe.revealed_ht
+    );
+
+    // --- Solution 2: r3 = {t2, t3} — chain-reaction analysis ---
+    let idx = RingIndex::from_rings(existing.iter().cloned().chain([ring(&[1, 2])]));
+    let analysis = analyze(&idx, &[]);
+    println!(
+        "solution 2, r3 = {{t2, t3}}: chain reaction resolves r3's spend = {:?}",
+        analysis.resolved(RsId(2))
+    );
+
+    // --- Solution 3: r3 = {t1, t2, t3, t4} — safe but size 4 ---
+    let idx = RingIndex::from_rings(existing.iter().cloned().chain([ring(&[0, 1, 2, 3])]));
+    let analysis = analyze(&idx, &[]);
+    println!(
+        "solution 3, r3 = {{t1..t4}}: resolved = {:?} (safe) but size = 4",
+        analysis.resolved(RsId(2))
+    );
+
+    // --- DA-MS solution: r3 = {t3, t4} — safe and minimal ---
+    let idx = RingIndex::from_rings(existing.iter().cloned().chain([ring(&[2, 3])]));
+    let analysis = analyze(&idx, &[]);
+    let probe = probe_ring(&ring(&[2, 3]), &universe);
+    println!(
+        "DA-MS solution, r3 = {{t3, t4}}: resolved = {:?}, homogeneous = {}, size = 2",
+        analysis.resolved(RsId(2)),
+        probe.attack_succeeds()
+    );
+
+    // --- Side information escalation (Definition 3 / Theorem 6.2) ---
+    println!("\nside-information escalation on Example 2's rings:");
+    let idx = RingIndex::from_rings([
+        ring(&[1, 2, 5]),
+        ring(&[1, 3]),
+        ring(&[1, 3]),
+        ring(&[2, 4]),
+        ring(&[4, 5, 6]),
+    ]);
+    let a0 = analyze(&idx, &[]);
+    println!("  no side info: {} rings resolved", a0.resolved_count());
+    let a1 = analyze(&idx, &[TokenRsPair::new(TokenId(5), RsId(4))]);
+    println!(
+        "  after revealing <t5 spent in r5>: {} rings resolved ({:?} pinned to {:?})",
+        a1.resolved_count(),
+        RsId(3),
+        a1.resolved(RsId(3))
+    );
+}

@@ -1,0 +1,78 @@
+//! Multi-input spending with MLSAG: one signature covers several inputs,
+//! coupling their anonymity sets — and why that makes diversity-aware
+//! selection matter even more.
+//!
+//! ```text
+//! cargo run --release --example multi_input
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dams_crypto::{sign_mlsag, verify_mlsag, KeyChain, SchnorrGroup};
+use dams_diversity::{analyze, RingIndex, RingSet, RsId, TokenId, TokenRsPair};
+
+fn main() {
+    let group = SchnorrGroup::default();
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // An HD wallet derives one-time keys for its two inputs.
+    let wallet = KeyChain::from_passphrase(group, "demo wallet", 0);
+    let my_keys = wallet.derive_range(2);
+
+    // Ring matrix: 4 slots × 2 layers; our keys occupy slot 2.
+    let decoys = KeyChain::from_passphrase(group, "the rest of the chain", 0);
+    let matrix: Vec<Vec<_>> = (0..4)
+        .map(|slot| {
+            (0..2)
+                .map(|layer| {
+                    if slot == 2 {
+                        my_keys[layer].public
+                    } else {
+                        decoys.derive((slot * 2 + layer) as u64).public
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let sig = sign_mlsag(&group, b"pay 2 inputs at once", &matrix, &my_keys, &mut rng)
+        .expect("wallet keys occupy slot 2");
+    println!(
+        "MLSAG over a 4×2 key matrix: verifies = {}, {} key images published",
+        verify_mlsag(&group, b"pay 2 inputs at once", &matrix, &sig),
+        sig.key_images.len()
+    );
+
+    // The coupling consequence at the token layer: the two layers' rings
+    // are slot-aligned. Resolving one layer resolves the other.
+    let layer0 = RingSet::new([TokenId(0), TokenId(1), TokenId(2), TokenId(3)]);
+    let layer1 = RingSet::new([TokenId(10), TokenId(11), TokenId(12), TokenId(13)]);
+    let idx = RingIndex::from_rings([layer0, layer1]);
+
+    let before = analyze(&idx, &[]);
+    println!(
+        "\nbefore any leak: layer0 candidates = {}, layer1 candidates = {}",
+        before.candidates[&RsId(0)].len(),
+        before.candidates[&RsId(1)].len()
+    );
+
+    // Side information pins layer0 to slot 2's token; MLSAG coupling lets
+    // the adversary carry the slot index into layer1.
+    let coupled = analyze(
+        &idx,
+        &[
+            TokenRsPair::new(TokenId(2), RsId(0)),
+            TokenRsPair::new(TokenId(12), RsId(1)), // slot-aligned inference
+        ],
+    );
+    println!(
+        "after one leak + coupling: layer0 → {:?}, layer1 → {:?}",
+        coupled.resolved(RsId(0)).map(|t| t.0),
+        coupled.resolved(RsId(1)).map(|t| t.0)
+    );
+    println!(
+        "\nlesson: a multi-input transaction is only as anonymous as its \
+         weakest layer — every layer's ring needs full DA-MS treatment"
+    );
+}

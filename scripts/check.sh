@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification recipe for the DA-MS reproduction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --workspace --all-targets
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== docs =="
+cargo doc --workspace --no-deps
+
+echo "== examples =="
+for ex in quickstart adversary evoting healthcare fee_saver storage_sharing; do
+  cargo run --release -q -p dams-bench --example "$ex" > /dev/null
+  echo "example $ex ok"
+done
+
+echo "== experiment shapes (quick) =="
+cargo run --release -q -p dams-bench --bin paper-experiments -- \
+  fig5 fig8 --samples 30 --check-shapes > /dev/null
+
+echo "all checks passed"

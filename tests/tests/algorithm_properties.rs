@@ -1,0 +1,151 @@
+//! Property-based tests for the DA-MS algorithms.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dams_core::{
+    game_theoretic, optimal_modular, progressive, random, smallest, SelectError, SelectionPolicy,
+};
+use dams_diversity::{DiversityRequirement, TokenId};
+use dams_workload::SyntheticConfig;
+
+/// Generate a small synthetic instance from a seed.
+fn instance(seed: u64, supers: usize, fresh: usize) -> dams_core::ModularInstance {
+    let cfg = SyntheticConfig {
+        num_super: supers,
+        super_size: (2, 4),
+        num_fresh: fresh,
+        sigma: 3.0,
+        ht_model: None,
+    };
+    cfg.generate(&mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every algorithm's successful output satisfies the policy, contains
+    /// the target, and is no smaller than the exhaustive optimum. The
+    /// heuristics may *fail* on feasible instances (recursive diversity is
+    /// not monotone under adding modules, so greedy stalls are legitimate
+    /// — §4's answer is requirement relaxation); the converse holds: a
+    /// success implies the optimum exists.
+    #[test]
+    fn outputs_are_feasible_and_contain_target(
+        seed in 0u64..300,
+        supers in 3usize..7,
+        fresh in 0usize..5,
+        l in 1usize..5,
+        c in prop::sample::select(vec![0.5f64, 1.0, 2.0]),
+    ) {
+        let inst = instance(seed, supers, fresh);
+        let req = DiversityRequirement::new(c, l);
+        let policy = SelectionPolicy::new(req);
+        let target = TokenId(0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+
+        let results = [
+            progressive(&inst, target, policy),
+            game_theoretic(&inst, target, policy),
+            smallest(&inst, target, policy),
+            random(&inst, target, policy, &mut rng),
+        ];
+        let opt = optimal_modular(&inst, target, policy);
+        for r in results {
+            match r {
+                Ok(sel) => {
+                    prop_assert!(sel.ring.contains(target));
+                    prop_assert!(policy.admits(&inst, &sel.modules));
+                    prop_assert!(opt.is_ok(), "algorithm found a ring the optimum missed");
+                    let opt_size = inst.size_of(opt.as_ref().expect("checked"));
+                    prop_assert!(sel.size() >= opt_size);
+                }
+                Err(SelectError::Infeasible) => {
+                    // Heuristic stall or genuine infeasibility: both allowed.
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+    }
+
+    /// Selections are unions of whole modules (first practical
+    /// configuration) — no module is partially included.
+    #[test]
+    fn selections_respect_module_atomicity(
+        seed in 0u64..200,
+        l in 1usize..4,
+    ) {
+        let inst = instance(seed, 5, 3);
+        let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, l));
+        if let Ok(sel) = progressive(&inst, TokenId(1), policy) {
+            for m in inst.modules() {
+                let in_ring = m.tokens.tokens().iter().filter(|t| sel.ring.contains(**t)).count();
+                prop_assert!(
+                    in_ring == 0 || in_ring == m.len(),
+                    "module {:?} partially included", m.id
+                );
+            }
+        }
+    }
+
+    /// The margin policy never yields a smaller ring than the plain one.
+    #[test]
+    fn margin_costs_size(seed in 0u64..200, l in 1usize..4) {
+        let inst = instance(seed, 6, 3);
+        let req = DiversityRequirement::new(1.0, l);
+        let plain = progressive(&inst, TokenId(0), SelectionPolicy::new(req));
+        let margin = progressive(&inst, TokenId(0), SelectionPolicy::with_margin(req));
+        if let (Ok(p), Ok(m)) = (plain, margin) {
+            prop_assert!(m.size() >= p.size());
+        }
+    }
+
+    /// Determinism: the deterministic algorithms return identical results
+    /// across runs.
+    #[test]
+    fn deterministic_algorithms_are_deterministic(seed in 0u64..200) {
+        let inst = instance(seed, 5, 4);
+        let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 3));
+        let t = TokenId(2);
+        prop_assert_eq!(
+            progressive(&inst, t, policy).map(|s| s.modules),
+            progressive(&inst, t, policy).map(|s| s.modules)
+        );
+        prop_assert_eq!(
+            game_theoretic(&inst, t, policy).map(|s| s.modules),
+            game_theoretic(&inst, t, policy).map(|s| s.modules)
+        );
+        prop_assert_eq!(
+            smallest(&inst, t, policy).map(|s| s.modules),
+            smallest(&inst, t, policy).map(|s| s.modules)
+        );
+    }
+
+    /// Game-theoretic equilibria are stable: no single module flip both
+    /// keeps feasibility and strictly shrinks the ring.
+    #[test]
+    fn game_equilibrium_stability(seed in 0u64..150) {
+        let inst = instance(seed, 5, 3);
+        let req = DiversityRequirement::new(1.0, 3);
+        let policy = SelectionPolicy::new(req);
+        let target = TokenId(0);
+        if let Ok(sel) = game_theoretic(&inst, target, policy) {
+            let x_tau = inst.module_of(target);
+            for m in inst.modules() {
+                if m.id == x_tau {
+                    continue;
+                }
+                let mut flipped = sel.modules.clone();
+                if flipped.contains(&m.id) {
+                    flipped.retain(|&id| id != m.id);
+                } else {
+                    flipped.push(m.id);
+                }
+                if policy.admits(&inst, &flipped) {
+                    prop_assert!(inst.size_of(&flipped) >= sel.size());
+                }
+            }
+        }
+    }
+}

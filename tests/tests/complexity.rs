@@ -1,0 +1,124 @@
+//! Complexity-shape tests: §6's analysis says the Progressive algorithm is
+//! O(n²) and the Game-theoretic algorithm O(n³) in the universe size, and
+//! §5's BFS is exponential. We verify *growth shapes* using the
+//! algorithms' own work counters (diversity-histogram evaluations), which
+//! are deterministic — unlike wall time.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dams_core::{bfs, game_theoretic, progressive, BfsBudget, Instance, SelectionPolicy};
+use dams_diversity::{DiversityRequirement, TokenId};
+use dams_workload::SyntheticConfig;
+
+/// Work (diversity checks) of one run per algorithm at a given |S|.
+fn work_at(num_super: usize, seed: u64) -> (u64, u64) {
+    let cfg = SyntheticConfig {
+        num_super,
+        super_size: (4, 4),
+        num_fresh: 0,
+        sigma: 8.0,
+        ht_model: None,
+    };
+    let inst = cfg.generate(&mut StdRng::seed_from_u64(seed));
+    let policy = SelectionPolicy::new(DiversityRequirement::new(0.6, 8));
+    let p = progressive(&inst, TokenId(0), policy)
+        .map(|s| s.stats.diversity_checks)
+        .unwrap_or(0);
+    let g = game_theoretic(&inst, TokenId(0), policy)
+        .map(|s| s.stats.diversity_checks)
+        .unwrap_or(0);
+    (p, g)
+}
+
+#[test]
+fn game_does_more_work_than_progressive() {
+    // §6's analysis: O(n³) for the game vs O(n²) for Progressive. The
+    // check counter under-counts the game's inner O(n) histogram cost, so
+    // the robust observable is the absolute ordering: at the same instance
+    // the game evaluates strictly more histograms (2 per player per pass
+    // vs 1 per remaining module per greedy step).
+    let mut game_wins = 0;
+    let mut comparisons = 0;
+    for seed in 0..8 {
+        let (p, g) = work_at(40, seed);
+        if p > 0 && g > 0 {
+            comparisons += 1;
+            if g > p {
+                game_wins += 1;
+            }
+        }
+    }
+    assert!(comparisons >= 3, "too few feasible seeds");
+    assert!(
+        game_wins * 2 > comparisons,
+        "game should out-work progressive on most instances: {game_wins}/{comparisons}"
+    );
+}
+
+#[test]
+fn both_practical_algorithms_scale_polynomially() {
+    // 4x the instance must grow the work far less than exponentially —
+    // well under 2^30; quadratic predicts 16x, cubic 64x. Allow 256x.
+    for seed in 0..3 {
+        let (p_small, g_small) = work_at(10, seed);
+        let (p_big, g_big) = work_at(40, seed);
+        if p_small > 0 && p_big > 0 {
+            assert!(
+                (p_big as f64) < p_small as f64 * 256.0,
+                "progressive blew up: {p_small} → {p_big}"
+            );
+        }
+        if g_small > 0 && g_big > 0 {
+            assert!(
+                (g_big as f64) < g_small as f64 * 256.0,
+                "game blew up: {g_small} → {g_big}"
+            );
+        }
+    }
+}
+
+#[test]
+fn progressive_work_is_polynomial_small_degree() {
+    // Progressive work should scale no worse than ~cubically with |S|
+    // (the analysis says quadratic; allow one extra degree of slack for
+    // constant effects at small sizes).
+    let mut ratios = Vec::new();
+    for seed in 0..5 {
+        let (p_small, _) = work_at(10, seed);
+        let (p_big, _) = work_at(40, seed);
+        if p_small > 0 && p_big > 0 {
+            ratios.push(p_big as f64 / p_small as f64);
+        }
+    }
+    let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    // 4x size → quadratic predicts 16x, cubic 64x; assert well below 64.
+    assert!(mean < 64.0, "progressive grew {mean:.1}x on a 4x instance");
+}
+
+#[test]
+fn bfs_candidates_grow_exponentially_with_committed_rings() {
+    // Fig 4's mechanism: each committed ring enlarges the related set and
+    // the world count. Measure candidates_examined for the 1st vs 3rd RS.
+    let mut rng = StdRng::seed_from_u64(3);
+    let universe = dams_workload::small_universe(14, 3.0, &mut rng);
+    let req = DiversityRequirement::new(5.0, 3);
+    let mut rings = dams_diversity::RingIndex::new();
+    let mut claims = Vec::new();
+    let mut work = Vec::new();
+    for i in 0..3u32 {
+        let inst = Instance::new(universe.clone(), rings.clone(), claims.clone());
+        match bfs(&inst, TokenId(i), req, BfsBudget::default()) {
+            Ok(sel) => {
+                work.push(sel.stats.diversity_checks.max(1));
+                rings.push(sel.ring);
+                claims.push(DiversityRequirement::new(req.c, req.l - 1));
+            }
+            Err(e) => panic!("prefix RS {i} infeasible: {e:?}"),
+        }
+    }
+    assert!(
+        work[2] >= work[0],
+        "later RSs must cost at least as much: {work:?}"
+    );
+}

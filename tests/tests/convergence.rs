@@ -1,0 +1,107 @@
+//! Theorem 6.6: the best-response dynamics converge to a Nash equilibrium
+//! in polynomially many strategy changes — the potential `|r̃|/|A|` drops
+//! by at least `1/|A|` per change while finite, so changes are O(n).
+//! These tests verify convergence happens and the iteration counters stay
+//! within the theorem's budget across instance shapes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dams_core::{game_theoretic, game_theoretic_from, InitStrategy, SelectionPolicy};
+use dams_diversity::{DiversityRequirement, TokenId};
+use dams_workload::{HtModel, SyntheticConfig};
+
+/// Iterations per player must stay linear-ish: the implementation runs
+/// full passes, so `iterations <= passes * |A|`, and the potential bounds
+/// passes by O(n). Budget: both response orders, 4(|A|)+16 passes each.
+fn iteration_budget(modules: usize) -> u64 {
+    2 * (4 * modules as u64 + 16) * modules as u64
+}
+
+#[test]
+fn game_converges_within_potential_budget_normal() {
+    for seed in 0..10u64 {
+        let cfg = SyntheticConfig {
+            num_super: 12,
+            super_size: (2, 6),
+            num_fresh: 6,
+            sigma: 5.0,
+            ht_model: None,
+        };
+        let inst = cfg.generate(&mut StdRng::seed_from_u64(seed));
+        let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 4));
+        if let Ok(sel) = game_theoretic(&inst, TokenId(0), policy) {
+            let budget = iteration_budget(inst.modules().len());
+            assert!(
+                sel.stats.iterations <= budget,
+                "seed {seed}: {} iterations over budget {budget}",
+                sel.stats.iterations
+            );
+        }
+    }
+}
+
+#[test]
+fn game_converges_under_zipf_skew() {
+    // Heavy-tailed HTs stress the diversity constraint; convergence must
+    // still land inside the potential budget.
+    for seed in 0..6u64 {
+        let cfg = SyntheticConfig {
+            num_super: 10,
+            super_size: (3, 6),
+            num_fresh: 5,
+            sigma: 12.0,
+            ht_model: Some(HtModel::Zipf { hts: 12, s: 1.1 }),
+        };
+        let inst = cfg.generate(&mut StdRng::seed_from_u64(seed));
+        let policy = SelectionPolicy::new(DiversityRequirement::new(1.5, 4));
+        if let Ok(sel) = game_theoretic(&inst, TokenId(0), policy) {
+            let budget = iteration_budget(inst.modules().len());
+            assert!(sel.stats.iterations <= budget, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn all_selected_init_converges_too() {
+    // Starting from everything selected, the dynamics only shed modules
+    // (plus occasional re-joins); the potential argument still bounds it.
+    let cfg = SyntheticConfig {
+        num_super: 15,
+        super_size: (2, 5),
+        num_fresh: 8,
+        sigma: 6.0,
+        ht_model: None,
+    };
+    let inst = cfg.generate(&mut StdRng::seed_from_u64(3));
+    let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 3));
+    let sel = game_theoretic_from(&inst, TokenId(0), policy, InitStrategy::AllSelected)
+        .expect("all-selected start is feasible when any selection is");
+    assert!(sel.stats.iterations <= iteration_budget(inst.modules().len()));
+}
+
+#[test]
+fn equilibria_from_both_inits_are_feasible_and_comparable() {
+    let cfg = SyntheticConfig {
+        num_super: 10,
+        super_size: (2, 5),
+        num_fresh: 5,
+        sigma: 5.0,
+        ht_model: None,
+    };
+    let inst = cfg.generate(&mut StdRng::seed_from_u64(9));
+    let req = DiversityRequirement::new(1.0, 4);
+    let policy = SelectionPolicy::new(req);
+    let greedy = game_theoretic_from(&inst, TokenId(0), policy, InitStrategy::CoverageGreedy);
+    let full = game_theoretic_from(&inst, TokenId(0), policy, InitStrategy::AllSelected);
+    if let (Ok(a), Ok(b)) = (greedy, full) {
+        assert!(req.satisfied_by(&inst.histogram_of(&a.modules)));
+        assert!(req.satisfied_by(&inst.histogram_of(&b.modules)));
+        // Both are equilibria; sizes may differ but stay within the PoA
+        // bound of each other via the shared optimum.
+        let params = dams_core::RatioParams::of(&inst);
+        let bound = params.poa_bound(req.c, req.l);
+        let ratio = a.size().max(b.size()) as f64 / a.size().min(b.size()) as f64;
+        assert!(ratio <= bound + 1e-9, "ratio {ratio} vs PoA bound {bound}");
+    }
+}

@@ -1,0 +1,72 @@
+//! A day-in-the-life integration test: the full economic + privacy stack
+//! working together — wallets, fee schedule, DA-MS selection, on-chain
+//! verification under the TokenMagic configuration, and a closing audit.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dams_blockchain::{Amount, FeeSchedule, NoConfiguration};
+use dams_core::{PracticalAlgorithm, SelectionPolicy};
+use dams_crypto::KeyPair;
+use dams_diversity::DiversityRequirement;
+use dams_node::{audit, Wallet};
+use dams_workload::chainload::ChainWorkload;
+
+#[test]
+fn full_stack_day() {
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    // Morning: the chain mints a batch — 30 tokens across 10 HTs.
+    let universe = dams_diversity::TokenUniverse::new(
+        (0..30u32).map(|i| dams_diversity::HtId(i / 3)).collect(),
+    );
+    let workload = ChainWorkload::materialize(universe, &mut rng);
+
+    // Two wallets import their keys (the workload minted to per-token
+    // keys; wallet A takes the first half, wallet B the rest).
+    let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 3));
+    let mut alice = Wallet::new(policy, PracticalAlgorithm::Progressive);
+    let mut bob = Wallet::new(policy, PracticalAlgorithm::GameTheoretic);
+    for t in 0..30u32 {
+        let kp = *workload_key(&workload, t);
+        if t < 15 {
+            alice.import(kp);
+        } else {
+            bob.import(kp);
+        }
+    }
+    let mut chain = workload.chain;
+    assert_eq!(alice.spendable(&chain).len(), 15);
+    assert_eq!(bob.spendable(&chain).len(), 15);
+
+    // Midday: spends happen; fees are proportional to ring size, so the
+    // DA-MS-selected rings determine the bill.
+    let schedule = FeeSchedule::new(Amount(10), Amount(2));
+    let mut total_fee = Amount(0);
+    let receiver = KeyPair::generate(chain.group(), &mut rng).public;
+    for (wallet, token) in [
+        (&alice, 0u64),
+        (&bob, 20),
+        (&alice, 7),
+    ] {
+        let ring = wallet
+            .spend(&mut chain, dams_blockchain::TokenId(token), receiver, &NoConfiguration, &mut rng)
+            .unwrap_or_else(|e| panic!("spend of {token} failed: {e}"));
+        // Reconstruct the fee from the committed transaction.
+        let fee = Amount(schedule.base.0 + schedule.per_ring_member.0 * ring.len() as u64);
+        total_fee = total_fee + fee;
+    }
+    assert!(total_fee.0 >= 3 * (10 + 2 * 3), "fees track ring sizes");
+
+    // Evening: the block explorer audits the public chain.
+    let report = audit(&chain);
+    assert_eq!(report.analysis.resolved_count(), 0, "no spend linkable");
+    assert!(report.claim_violations.is_empty(), "all claims honest");
+    assert!(report.anonymity.mean_candidates >= 3.0);
+    assert!(chain.audit(), "hash chain intact");
+}
+
+/// Fetch the minting key of algorithm token `t` from the workload.
+fn workload_key(w: &ChainWorkload, t: u32) -> &KeyPair {
+    w.key_of(dams_diversity::TokenId(t))
+}

@@ -1,0 +1,101 @@
+//! Wire-level gossip: blocks travel between nodes as bytes through the
+//! codec, get validated on decode, and still converge — the full
+//! serialize → network → deserialize → adopt path.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dams_blockchain::{
+    block_to_bytes, decode_block, Amount, CodecError, TokenOutput,
+};
+use dams_crypto::{KeyPair, SchnorrGroup};
+use dams_node::{BlockAnnouncement, Bus};
+
+#[test]
+fn byte_gossip_converges() {
+    let group = SchnorrGroup::default();
+    let mut bus = Bus::new(3, group);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Node 0 mines 4 blocks; each is shipped as bytes.
+    let mut wire: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..4 {
+        let outs: Vec<TokenOutput> = (0..3)
+            .map(|_| TokenOutput {
+                owner: KeyPair::generate(&group, &mut rng).public,
+                amount: Amount(1),
+            })
+            .collect();
+        let chain = bus.nodes[0].chain_mut();
+        chain.submit_coinbase(outs);
+        chain.seal_block();
+        wire.push(block_to_bytes(chain.blocks().last().expect("sealed")));
+    }
+
+    // Peers decode from bytes (validating group membership en route).
+    for bytes in &wire {
+        let block = decode_block(&group, bytes).expect("well-formed wire block");
+        bus.nodes[1].deliver(BlockAnnouncement {
+            block: block.clone(),
+        });
+        bus.nodes[2].deliver(BlockAnnouncement { block });
+    }
+    bus.settle();
+    assert!(bus.converged());
+    assert!(bus.batch_consensus(5));
+    for n in &bus.nodes {
+        assert!(n.chain().audit());
+        assert_eq!(n.chain().token_count(), 12);
+    }
+}
+
+#[test]
+fn corrupted_wire_block_never_reaches_the_chain() {
+    let group = SchnorrGroup::default();
+    let mut bus = Bus::new(2, group);
+    let mut rng = StdRng::seed_from_u64(2);
+    let outs = vec![TokenOutput {
+        owner: KeyPair::generate(&group, &mut rng).public,
+        amount: Amount(1),
+    }];
+    let chain = bus.nodes[0].chain_mut();
+    chain.submit_coinbase(outs);
+    chain.seal_block();
+    let mut bytes = block_to_bytes(chain.blocks().last().expect("sealed"));
+
+    // Flip bits across the block: corruption in the transaction payload
+    // fails decode or the content hash; corruption in the header breaks
+    // the prev_hash linkage or height continuity. (A timestamp flip is
+    // the one field that yields a *different but structurally valid*
+    // block; a real chain prevents that with header authentication —
+    // PoW or signatures — which this simulation does not model, so we
+    // skip the 8 timestamp bytes at offset 72.)
+    let mut decode_failures = 0;
+    let mut adoption_discards = 0;
+    for pos in (0..bytes.len()).step_by(7).filter(|p| !(72..80).contains(p)) {
+        bytes[pos] ^= 0x55;
+        match decode_block(&group, &bytes) {
+            Err(CodecError::Truncated)
+            | Err(CodecError::LengthOutOfBounds(_))
+            | Err(CodecError::TrailingBytes(_))
+            | Err(CodecError::InvalidElement(_)) => decode_failures += 1,
+            Ok(block) => {
+                let before = bus.nodes[1].chain().height();
+                bus.nodes[1].deliver(BlockAnnouncement { block });
+                bus.nodes[1].process_inbox();
+                // Either the prev_hash no longer links (orphan forever) or
+                // the content hash mismatch discards it.
+                if bus.nodes[1].chain().height() == before {
+                    adoption_discards += 1;
+                }
+            }
+        }
+        bytes[pos] ^= 0x55; // restore
+    }
+    assert!(decode_failures + adoption_discards > 0);
+    assert_eq!(
+        bus.nodes[1].chain().height(),
+        1,
+        "no corrupted block may be adopted"
+    );
+}
