@@ -8,7 +8,8 @@
 //! * `ablation_config1` — Theorem 6.1's polynomial DTRS verification vs
 //!   exact DTRS enumeration (Algorithm 3) on small instances.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dams_bench::microbench::{BenchmarkId, Criterion};
+use dams_bench::{criterion_group, criterion_main};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

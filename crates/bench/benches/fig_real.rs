@@ -5,7 +5,8 @@
 //! `paper-experiments` binary (sizes are deterministic statistics, not
 //! timings).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dams_bench::microbench::{BenchmarkId, Criterion};
+use dams_bench::{criterion_group, criterion_main};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

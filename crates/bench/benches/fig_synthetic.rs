@@ -2,7 +2,8 @@
 //! |s_i| (Fig 9), and |F| (Fig 10) on selection time for the four
 //! approaches. Size curves come from `paper-experiments`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dams_bench::microbench::{BenchmarkId, Criterion};
+use dams_bench::{criterion_group, criterion_main};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

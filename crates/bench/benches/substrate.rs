@@ -8,7 +8,8 @@
 //! * `batch_build` — TokenMagic batch-list construction across chain
 //!   lengths (the §4 consensus object).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dams_bench::microbench::{BenchmarkId, Criterion};
+use dams_bench::{criterion_group, criterion_main};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,7 +52,7 @@ fn bench_verify_throughput(c: &mut Criterion) {
                 })
                 .collect(),
         );
-        chain.seal_block();
+        chain.seal_block().unwrap();
         let outputs = vec![TokenOutput {
             owner: keys[0].public,
             amount: Amount(1),
@@ -98,7 +99,7 @@ fn bench_batch_build(c: &mut Criterion) {
                 })
                 .collect();
             chain.submit_coinbase(outs);
-            chain.seal_block();
+            chain.seal_block().unwrap();
         }
         group.bench_with_input(BenchmarkId::new("blocks", blocks), &blocks, |b, _| {
             b.iter(|| BatchList::build(&chain, 64))

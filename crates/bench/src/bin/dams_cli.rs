@@ -5,6 +5,7 @@
 //! dams-cli attack  --rings "1,2;1,2;2,3"
 //! dams-cli audit   --spends 5 [--seed N]
 //! dams-cli hardness --rings "1,2;1,2;2,3,4"
+//! dams-cli --faults 7
 //! ```
 //!
 //! * `select` — generate a synthetic batch (Table 3 defaults) and run one
@@ -15,6 +16,10 @@
 //!   anonymity report.
 //! * `hardness` — count the token–RS combinations (possible worlds) of
 //!   literal rings via the Theorem 3.1 reduction.
+//! * `--faults N` — replay the scripted adversarial simulation (drop +
+//!   duplicate + reorder + delay + corrupt + partition/heal +
+//!   crash/restore) from seed N and print the fault report. The same
+//!   seed always reproduces the same run.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,6 +42,16 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+
+    // `--faults <seed>` works from any position (including as the leading
+    // argument) so a failing property test's seed pastes straight in.
+    if args.iter().any(|a| a == "--faults") {
+        let seed: u64 = get("--faults")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die("--faults requires a u64 seed"));
+        replay_faults(seed);
+        return;
+    }
 
     match cmd.as_str() {
         "select" => {
@@ -149,6 +164,41 @@ fn main() {
     }
 }
 
+/// Replay the scripted adversarial simulation from `seed` and print the
+/// report a failing property test would want reproduced.
+fn replay_faults(seed: u64) {
+    let report = dams_node::run_faulted_simulation(seed);
+    println!("faulted simulation, seed {seed}:");
+    println!(
+        "  converged: {} | batch consensus: {} | height: {} | ticks: {}",
+        report.converged,
+        report.batch_consensus,
+        report.height,
+        report
+            .ticks
+            .map_or_else(|| "budget exhausted".into(), |t| t.to_string()),
+    );
+    if let Some(tip) = report.tip {
+        println!("  tip: {}", hex(&tip));
+    }
+    let s = &report.stats;
+    println!(
+        "  wire: {} sent, {} delivered, {} dropped, {} duplicated, {} delayed, {} corrupted",
+        s.sent, s.delivered, s.dropped, s.duplicated, s.delayed, s.corrupted
+    );
+    println!(
+        "  rejected: {} undecodable, {} inbox-full, {} partition-blocked",
+        s.decode_rejected, s.inbox_rejected, s.partition_blocked
+    );
+    if !report.converged || !report.batch_consensus {
+        std::process::exit(1);
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
 /// Parse "1,2;1,2;2,3" into rings.
 fn parse_rings(s: &str) -> Vec<RingSet> {
     s.split(';')
@@ -167,7 +217,8 @@ fn parse_rings(s: &str) -> Vec<RingSet> {
 fn usage() -> ! {
     eprintln!(
         "usage: dams-cli <select|attack|audit|hardness> [--algorithm tm_s|tm_r|tm_p|tm_g] \
-         [--c F] [--l N] [--target N] [--rings \"1,2;2,3\"] [--spends N] [--seed N]"
+         [--c F] [--l N] [--target N] [--rings \"1,2;2,3\"] [--spends N] [--seed N]\n\
+         \x20      dams-cli --faults <seed>   replay a faulted node simulation"
     );
     std::process::exit(2);
 }

@@ -5,4 +5,5 @@
 //! `benches/` for the Criterion targets.
 
 pub mod harness;
+pub mod microbench;
 pub mod series;

@@ -1,0 +1,177 @@
+//! A minimal, dependency-free micro-benchmark harness replacing the
+//! Criterion targets, built on the same `std::time::Instant` timing the
+//! experiment series uses (`series::measure`). API-compatible with the
+//! subset of Criterion the `benches/` files call, so a bench file only
+//! swaps its imports.
+//!
+//! Methodology: one untimed warm-up iteration per sample group, then
+//! `sample_size` timed samples of a batch each, reporting min / median /
+//! mean per iteration. No outlier rejection — these numbers feed the
+//! qualitative shape checks of DESIGN.md, not statistical claims.
+
+use std::time::Instant;
+
+/// Top-level harness handle (the `c: &mut Criterion` every bench takes).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_with_input(BenchmarkId::new(name, ""), &(), |b, ()| f(b));
+        group.finish();
+    }
+}
+
+/// A named parameter point within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            warmed: false,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher, input);
+        }
+        bencher.report(&self.name, &id.label);
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Per-sample timer: `b.iter(|| work())`.
+pub struct Bencher {
+    samples: Vec<f64>,
+    warmed: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.warmed {
+            black_box(f());
+            self.warmed = true;
+        }
+        let start = Instant::now();
+        black_box(f());
+        self.samples
+            .push(start.elapsed().as_nanos() as f64 / 1_000.0);
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{label}: no samples");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean: f64 = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{group}/{label}: min {min:.1} µs, median {median:.1} µs, mean {mean:.1} µs ({} samples)",
+            sorted.len()
+        );
+    }
+}
+
+/// An identity function the optimiser must assume reads and writes its
+/// argument (the `criterion::black_box` role).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect bench functions into a runner (`criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::microbench::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the collected groups (`criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("id", 1), &2u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        // 3 samples + 1 warm-up.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_function_smoke() {
+        let mut c = Criterion::default();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -37,24 +37,26 @@ impl BatchList {
     ///
     /// Scans blocks in ascending order; a batch closes once its token count
     /// reaches λ *after* adding a block (blocks are never split).
+    ///
+    /// λ = 0 is clamped to 1 (the smallest meaningful batch size) so a
+    /// misconfigured node degrades instead of panicking — the clamp is
+    /// deterministic, so all nodes applying it still agree on the list.
     pub fn build(chain: &Chain, lambda: usize) -> Self {
-        assert!(lambda > 0, "λ must be positive");
+        let lambda = lambda.max(1);
         let mut batches: Vec<Batch> = Vec::new();
         let mut current_tokens: Vec<TokenId> = Vec::new();
         let mut current_first: Option<BlockHeight> = None;
 
         for block in chain.blocks() {
             let height = block.header.height;
-            if current_first.is_none() {
-                current_first = Some(height);
-            }
+            let first = *current_first.get_or_insert(height);
             for tx in &block.transactions {
                 current_tokens.extend(tx.output_ids.iter().copied());
             }
             if current_tokens.len() >= lambda {
                 batches.push(Batch {
                     index: batches.len(),
-                    first_block: current_first.expect("set at loop entry"),
+                    first_block: first,
                     last_block: height,
                     tokens: std::mem::take(&mut current_tokens),
                     closed: true,
@@ -62,14 +64,14 @@ impl BatchList {
                 current_first = None;
             }
         }
-        // Trailing open batch (possibly empty of tokens).
+        // Trailing open batch (possibly empty of tokens). On an empty block
+        // list (corrupted state — construction always adds genesis) the
+        // loop never ran and `current_first` is `None`, so no batch forms.
         if let Some(first) = current_first {
             let last = chain
                 .blocks()
                 .last()
-                .expect("chain has genesis")
-                .header
-                .height;
+                .map_or(first, |b| b.header.height);
             batches.push(Batch {
                 index: batches.len(),
                 first_block: first,
@@ -125,7 +127,7 @@ mod tests {
                 })
                 .collect();
             chain.submit_coinbase(outs);
-            chain.seal_block();
+            chain.seal_block().unwrap();
         }
         chain
     }
@@ -206,9 +208,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "λ must be positive")]
-    fn zero_lambda_rejected() {
-        let chain = Chain::new(SchnorrGroup::default());
-        BatchList::build(&chain, 0);
+    fn zero_lambda_clamped_to_one() {
+        let chain = chain_with(3, 2);
+        let zero = BatchList::build(&chain, 0);
+        let one = BatchList::build(&chain, 1);
+        assert_eq!(zero.batches(), one.batches());
+        assert_eq!(zero.lambda(), 1);
     }
 }

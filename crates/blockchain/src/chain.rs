@@ -70,6 +70,51 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Why a ledger-state operation (sealing, block adoption) failed — the
+/// chain half of the typed error taxonomy (the node half is
+/// `dams-node`'s `NodeError`). These replace the panics that used to sit
+/// on the adoption path, so a Byzantine peer can never crash a replica.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainError {
+    /// The block list lost its genesis — local state corruption, never a
+    /// peer's fault.
+    MissingGenesis,
+    /// A peer block's `prev_hash` does not match the local tip.
+    NotExtendingTip,
+    /// A peer block's recorded content hash does not match its
+    /// transactions.
+    ContentHashMismatch,
+    /// A peer block's recorded token ids do not continue the local
+    /// numbering.
+    TokenIdDiscontinuity { expected: u64, got: u64 },
+    /// Transaction-level verification failed.
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::MissingGenesis => write!(f, "chain state corrupted: no genesis block"),
+            ChainError::NotExtendingTip => write!(f, "block does not extend the current tip"),
+            ChainError::ContentHashMismatch => {
+                write!(f, "block content hash does not cover its transactions")
+            }
+            ChainError::TokenIdDiscontinuity { expected, got } => {
+                write!(f, "block token ids jump (expected {expected}, got {got})")
+            }
+            ChainError::Verify(e) => write!(f, "transaction verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl From<VerifyError> for ChainError {
+    fn from(e: VerifyError) -> Self {
+        ChainError::Verify(e)
+    }
+}
+
 /// A pluggable ring-configuration check run by verifiers at Step 3
 /// ("verifiers can check if r satisfies some extra configurations").
 pub trait RingConfiguration {
@@ -133,6 +178,12 @@ impl Chain {
 
     pub fn blocks(&self) -> &[Block] {
         &self.blocks
+    }
+
+    /// The current tip block. `Err(MissingGenesis)` only when local state
+    /// is corrupted (construction guarantees a genesis block).
+    pub fn tip(&self) -> Result<&Block, ChainError> {
+        self.blocks.last().ok_or(ChainError::MissingGenesis)
     }
 
     /// Number of tokens ever minted.
@@ -233,7 +284,8 @@ impl Chain {
     }
 
     /// Commit the mempool into a new block; returns the block height.
-    pub fn seal_block(&mut self) -> BlockHeight {
+    pub fn seal_block(&mut self) -> Result<BlockHeight, ChainError> {
+        let prev_hash = self.tip()?.hash();
         let height = BlockHeight(self.blocks.len() as u64);
         let mut committed: Vec<CommittedTransaction> = Vec::with_capacity(self.mempool.len());
         for tx in self.mempool.drain(..) {
@@ -254,7 +306,6 @@ impl Chain {
             }
             committed.push(CommittedTransaction { id, tx, output_ids });
         }
-        let prev_hash = self.blocks.last().expect("genesis always present").hash();
         let content_hash = Block::content_hash(&committed);
         self.blocks.push(Block {
             header: BlockHeader {
@@ -265,7 +316,7 @@ impl Chain {
             },
             transactions: committed,
         });
-        height
+        Ok(height)
     }
 
     /// Fully verify a peer block against the current state before
@@ -278,13 +329,14 @@ impl Chain {
         &self,
         block: &Block,
         config: &dyn RingConfiguration,
-    ) -> Result<(), VerifyError> {
-        let tip = self.blocks.last().expect("genesis always present");
-        if block.header.prev_hash != tip.hash()
-            || block.header.height.0 as usize != self.height()
-            || Block::content_hash(&block.transactions) != block.header.content_hash
+    ) -> Result<(), ChainError> {
+        let tip = self.tip()?;
+        if block.header.prev_hash != tip.hash() || block.header.height.0 as usize != self.height()
         {
-            return Err(VerifyError::BadBlock);
+            return Err(ChainError::NotExtendingTip);
+        }
+        if Block::content_hash(&block.transactions) != block.header.content_hash {
+            return Err(ChainError::ContentHashMismatch);
         }
         let mut images_in_block: HashSet<u64> = HashSet::new();
         let mut next_token = self.tokens.len() as u64;
@@ -295,12 +347,15 @@ impl Chain {
             for input in &ct.tx.inputs {
                 let img = input.key_image().value();
                 if !images_in_block.insert(img) {
-                    return Err(VerifyError::DuplicateImageInTx(img));
+                    return Err(VerifyError::DuplicateImageInTx(img).into());
                 }
             }
             for &tid in &ct.output_ids {
                 if tid.0 != next_token {
-                    return Err(VerifyError::UnknownToken(tid));
+                    return Err(ChainError::TokenIdDiscontinuity {
+                        expected: next_token,
+                        got: tid.0,
+                    });
                 }
                 next_token += 1;
             }
@@ -314,26 +369,37 @@ impl Chain {
     /// under the block's recorded ids and registering consumed key images.
     ///
     /// Does **not** verify ring signatures — call [`Self::verify_block`]
-    /// first (the network layer does). Panics when the block does not
-    /// extend the tip or its recorded token ids collide with local state.
-    pub fn adopt_block(&mut self, block: Block) {
-        let tip = self.blocks.last().expect("genesis always present").hash();
-        assert_eq!(block.header.prev_hash, tip, "block must extend the tip");
-        assert_eq!(
-            Block::content_hash(&block.transactions),
-            block.header.content_hash,
-            "content hash mismatch"
-        );
+    /// first (the network layer does). Returns a [`ChainError`] (leaving
+    /// local state untouched) when the block does not extend the tip, its
+    /// content hash is inconsistent, or its recorded token ids collide
+    /// with local state.
+    pub fn adopt_block(&mut self, block: Block) -> Result<(), ChainError> {
+        let tip = self.tip()?.hash();
+        if block.header.prev_hash != tip {
+            return Err(ChainError::NotExtendingTip);
+        }
+        if Block::content_hash(&block.transactions) != block.header.content_hash {
+            return Err(ChainError::ContentHashMismatch);
+        }
+        // Pre-check token-id continuity across the whole block before
+        // mutating any state, so a bad block cannot half-apply.
+        let mut next_token = self.tokens.len() as u64;
+        for ct in &block.transactions {
+            for &tid in &ct.output_ids {
+                if tid.0 != next_token {
+                    return Err(ChainError::TokenIdDiscontinuity {
+                        expected: next_token,
+                        got: tid.0,
+                    });
+                }
+                next_token += 1;
+            }
+        }
         for ct in &block.transactions {
             for input in &ct.tx.inputs {
                 self.consumed_images.insert(input.key_image().value());
             }
             for (out, &tid) in ct.tx.outputs.iter().zip(&ct.output_ids) {
-                assert_eq!(
-                    tid.0 as usize,
-                    self.tokens.len(),
-                    "peer block token ids must continue ours"
-                );
                 self.tokens.push(TokenRecord {
                     id: tid,
                     origin: ct.id,
@@ -346,6 +412,7 @@ impl Chain {
             self.next_tx = self.next_tx.max(ct.id.0 + 1);
         }
         self.blocks.push(block);
+        Ok(())
     }
 
     /// Validate the whole chain's hash links (full-node audit).
@@ -385,7 +452,7 @@ mod tests {
                 })
                 .collect(),
         );
-        chain.seal_block();
+        chain.seal_block().unwrap();
         Harness { chain, keys, rng }
     }
 
@@ -431,7 +498,7 @@ mod tests {
         assert_eq!(h.chain.token_count(), 4);
         let tx = spend(&mut h, vec![TokenId(0), TokenId(1), TokenId(2)], 1);
         h.chain.submit(tx, &NoConfiguration).unwrap();
-        h.chain.seal_block();
+        h.chain.seal_block().unwrap();
         assert_eq!(h.chain.token_count(), 5);
         assert!(h.chain.audit());
     }
@@ -511,7 +578,7 @@ mod tests {
         let mut h = harness(2);
         let tx = spend(&mut h, vec![TokenId(0), TokenId(1)], 0);
         h.chain.submit(tx, &NoConfiguration).unwrap();
-        h.chain.seal_block();
+        h.chain.seal_block().unwrap();
         assert!(h.chain.audit());
         // Tamper with a committed transaction.
         h.chain.blocks[2].transactions[0].output_ids.push(TokenId(77));
@@ -534,7 +601,7 @@ mod tests {
         assert_eq!(origin0, origin1, "same coinbase = same HT");
         let tx = spend(&mut h, vec![TokenId(0), TokenId(1)], 0);
         h.chain.submit(tx, &NoConfiguration).unwrap();
-        h.chain.seal_block();
+        h.chain.seal_block().unwrap();
         let origin2 = h.chain.token(TokenId(2)).unwrap().origin;
         assert_ne!(origin2, origin0);
     }

@@ -266,7 +266,7 @@ mod tests {
                 })
                 .collect(),
         );
-        chain.seal_block();
+        chain.seal_block().unwrap();
         let outputs = vec![TokenOutput {
             owner: keys[1].public,
             amount: Amount(2),
@@ -294,7 +294,7 @@ mod tests {
                 &NoConfiguration,
             )
             .unwrap();
-        chain.seal_block();
+        chain.seal_block().unwrap();
         (group, chain.blocks().to_vec())
     }
 

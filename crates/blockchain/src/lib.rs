@@ -18,7 +18,7 @@ pub mod types;
 pub use batch::{Batch, BatchList};
 pub use confidential::{ConfidentialError, ConfidentialLedger, ConfidentialOutput, ConfidentialSpend};
 pub use block::{Block, BlockHeader};
-pub use chain::{Chain, NoConfiguration, RingConfiguration, TokenRecord, VerifyError};
+pub use chain::{Chain, ChainError, NoConfiguration, RingConfiguration, TokenRecord, VerifyError};
 pub use codec::{block_to_bytes, decode_block, transaction_to_bytes, CodecError};
 pub use fees::{select_for_block, FeeSchedule};
 pub use transaction::{CommittedTransaction, RingInput, TokenOutput, Transaction};

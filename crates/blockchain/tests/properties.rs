@@ -20,7 +20,7 @@ fn build_chain(token_counts: &[usize], seed: u64) -> Chain {
             })
             .collect();
         chain.submit_coinbase(outs);
-        chain.seal_block();
+        chain.seal_block().unwrap();
     }
     chain
 }

@@ -22,6 +22,9 @@ pub struct BfsBudget {
     pub max_candidates: u64,
     /// Maximum possible worlds per candidate before giving up.
     pub max_worlds: usize,
+    /// Optional wall-clock deadline, checked between candidates. Expiry
+    /// surfaces as [`SelectError::BudgetExhausted`], same as the counters.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for BfsBudget {
@@ -29,6 +32,7 @@ impl Default for BfsBudget {
         BfsBudget {
             max_candidates: 5_000_000,
             max_worlds: 2_000_000,
+            deadline: None,
         }
     }
 }
@@ -70,6 +74,12 @@ pub fn bfs(
             if stats.candidates_examined > budget.max_candidates {
                 err = Some(SelectError::BudgetExhausted);
                 return false;
+            }
+            if let Some(deadline) = budget.deadline {
+                if std::time::Instant::now() >= deadline {
+                    err = Some(SelectError::BudgetExhausted);
+                    return false;
+                }
             }
             let mut tokens = mixins.to_vec();
             tokens.push(target);
@@ -298,6 +308,7 @@ mod tests {
         let tiny = BfsBudget {
             max_candidates: 10,
             max_worlds: 10,
+            deadline: None,
         };
         assert_eq!(
             bfs(&inst, TokenId(0), req, tiny).unwrap_err(),

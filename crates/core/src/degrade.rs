@@ -1,0 +1,370 @@
+//! Graceful degradation for mixin selection under a deadline.
+//!
+//! The exact BFS (Algorithm 2) is exponential by Theorem 3.1, so a node
+//! serving live traffic cannot always afford it. This module wraps the
+//! three selection algorithms in a **tiered fallback chain**:
+//!
+//! 1. [`Tier::ExactBfs`] — the exact search, bounded by a wall-clock
+//!    deadline and candidate/world counters ([`BfsBudget`]);
+//! 2. [`Tier::Progressive`] — the O(n²) greedy (Algorithm 4), with the
+//!    Theorem 6.5 approximation ratio;
+//! 3. [`Tier::GameTheoretic`] — the O(n³) potential game (Algorithm 5),
+//!    with the Theorem 6.7 price-of-anarchy bound.
+//!
+//! When a tier exhausts its budget the next one answers; the result
+//! records **which tier produced the ring and what guarantee it carries**,
+//! so callers can report degraded service instead of stalling or lying
+//! about optimality. Errors that fallback cannot fix — an unknown target,
+//! or the exact search *proving* infeasibility — propagate immediately:
+//! an approximation can never find a ring where the exact search showed
+//! none exists.
+
+use dams_diversity::TokenId;
+
+use crate::bfs::{bfs, BfsBudget};
+use crate::config::SelectionPolicy;
+use crate::game::game_theoretic;
+use crate::instance::{Instance, ModularInstance};
+use crate::progressive::progressive;
+use crate::ratio::RatioParams;
+use crate::selection::{SelectError, Selection};
+
+/// One rung of the fallback ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// The exact breadth-first search (Algorithm 2).
+    ExactBfs,
+    /// The Progressive approximation (Algorithm 4).
+    Progressive,
+    /// The Game-theoretic approximation (Algorithm 5).
+    GameTheoretic,
+}
+
+impl Tier {
+    /// The default ladder, best guarantee first.
+    pub const DEFAULT_LADDER: [Tier; 3] = [Tier::ExactBfs, Tier::Progressive, Tier::GameTheoretic];
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tier::ExactBfs => write!(f, "exact-bfs"),
+            Tier::Progressive => write!(f, "progressive"),
+            Tier::GameTheoretic => write!(f, "game-theoretic"),
+        }
+    }
+}
+
+/// The quality guarantee attached to a degraded answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Guarantee {
+    /// Minimum ring size (the Definition 5 optimum).
+    Exact,
+    /// Ring size within the Theorem 6.5 Progressive ratio of optimal.
+    ProgressiveRatio(f64),
+    /// Ring size within the Theorem 6.7 price-of-anarchy bound of optimal.
+    PriceOfAnarchy(f64),
+}
+
+impl Guarantee {
+    /// The multiplicative bound on `|ring| / |optimal ring|` (1.0 when
+    /// exact).
+    pub fn ratio_bound(&self) -> f64 {
+        match self {
+            Guarantee::Exact => 1.0,
+            Guarantee::ProgressiveRatio(b) | Guarantee::PriceOfAnarchy(b) => *b,
+        }
+    }
+}
+
+impl std::fmt::Display for Guarantee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Guarantee::Exact => write!(f, "exact optimum"),
+            Guarantee::ProgressiveRatio(b) => write!(f, "within {b:.3}x of optimal (Thm 6.5)"),
+            Guarantee::PriceOfAnarchy(b) => write!(f, "within {b:.3}x of optimal (Thm 6.7 PoA)"),
+        }
+    }
+}
+
+/// Budget for the degrading selector. Only the exact tier consumes it:
+/// the approximation tiers are polynomial and always run to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeBudget {
+    /// Wall-clock time granted to the exact search before falling back.
+    /// `None` leaves only the counter limits.
+    pub exact_timeout: Option<std::time::Duration>,
+    /// Counter limits forwarded to the exact search.
+    pub bfs: BfsBudget,
+}
+
+impl Default for DegradeBudget {
+    fn default() -> Self {
+        DegradeBudget {
+            exact_timeout: Some(std::time::Duration::from_millis(50)),
+            bfs: BfsBudget::default(),
+        }
+    }
+}
+
+/// A selection annotated with the tier that produced it, its guarantee,
+/// and the budget failures that forced the degradation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedSelection {
+    pub selection: Selection,
+    /// The tier that answered.
+    pub tier: Tier,
+    /// The approximation guarantee the answer carries.
+    pub guarantee: Guarantee,
+    /// Tiers tried before the answering one, with why each gave up.
+    pub attempts: Vec<(Tier, SelectError)>,
+}
+
+impl DegradedSelection {
+    /// Whether any fallback happened (i.e. the answer is not exact).
+    pub fn degraded(&self) -> bool {
+        !self.attempts.is_empty()
+    }
+}
+
+/// Run the default ladder: exact BFS, then Progressive, then
+/// Game-theoretic, degrading whenever a tier's budget is exhausted.
+pub fn select_with_fallback(
+    instance: &Instance,
+    target: TokenId,
+    policy: SelectionPolicy,
+    budget: DegradeBudget,
+) -> Result<DegradedSelection, SelectError> {
+    select_with_ladder(instance, target, policy, budget, &Tier::DEFAULT_LADDER)
+}
+
+/// Run an explicit ladder of tiers in order.
+///
+/// A tier failing with [`SelectError::BudgetExhausted`] hands over to the
+/// next; [`SelectError::UnknownToken`] always propagates; any other error
+/// from the **exact** tier propagates too (a proof of infeasibility is
+/// final), while approximation-tier failures hand over — greedy and
+/// best-response dynamics can dead-end on instances another heuristic
+/// still solves. When every tier fails, the last error propagates.
+pub fn select_with_ladder(
+    instance: &Instance,
+    target: TokenId,
+    policy: SelectionPolicy,
+    budget: DegradeBudget,
+    ladder: &[Tier],
+) -> Result<DegradedSelection, SelectError> {
+    assert!(!ladder.is_empty(), "empty tier ladder");
+
+    // The approximation tiers need the modular view; decompose lazily so a
+    // non-laminar history can still be served by the exact tier.
+    let mut modular: Option<Result<ModularInstance, SelectError>> = None;
+    let mut attempts: Vec<(Tier, SelectError)> = Vec::new();
+
+    for (rung, &tier) in ladder.iter().enumerate() {
+        let last = rung == ladder.len() - 1;
+        let outcome = match tier {
+            Tier::ExactBfs => {
+                let bfs_budget = BfsBudget {
+                    deadline: budget.exact_timeout.map(|t| std::time::Instant::now() + t),
+                    ..budget.bfs
+                };
+                bfs(instance, target, policy.effective(), bfs_budget).map(|selection| {
+                    let guarantee = Guarantee::Exact;
+                    (selection, guarantee)
+                })
+            }
+            Tier::Progressive | Tier::GameTheoretic => {
+                let mi = modular.get_or_insert_with(|| {
+                    ModularInstance::decompose(instance)
+                        // A non-laminar history violates the first
+                        // practical configuration, so no modular ring can
+                        // be built for it: infeasible at this tier.
+                        .map_err(|_| SelectError::Infeasible)
+                });
+                match mi {
+                    Err(e) => Err(e.clone()),
+                    Ok(mi) => {
+                        let params = RatioParams::of(mi);
+                        let req = policy.effective();
+                        if tier == Tier::Progressive {
+                            progressive(mi, target, policy).map(|selection| {
+                                (
+                                    selection,
+                                    Guarantee::ProgressiveRatio(
+                                        params.progressive_bound(req.c, req.l),
+                                    ),
+                                )
+                            })
+                        } else {
+                            game_theoretic(mi, target, policy).map(|selection| {
+                                (
+                                    selection,
+                                    Guarantee::PriceOfAnarchy(params.poa_bound(req.c, req.l)),
+                                )
+                            })
+                        }
+                    }
+                }
+            }
+        };
+
+        match outcome {
+            Ok((selection, guarantee)) => {
+                return Ok(DegradedSelection {
+                    selection,
+                    tier,
+                    guarantee,
+                    attempts,
+                });
+            }
+            Err(SelectError::UnknownToken) => return Err(SelectError::UnknownToken),
+            Err(e) => {
+                let hand_over = match tier {
+                    // The exact tier only hands over when it ran out of
+                    // budget; its Infeasible is a proof.
+                    Tier::ExactBfs => e == SelectError::BudgetExhausted,
+                    Tier::Progressive | Tier::GameTheoretic => true,
+                };
+                if last || !hand_over {
+                    return Err(e);
+                }
+                attempts.push((tier, e));
+            }
+        }
+    }
+    unreachable!("loop returns on the last rung");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dams_diversity::{DiversityRequirement, HtHistogram, HtId, TokenUniverse};
+
+    /// A fresh universe big enough that a starved BFS budget exhausts
+    /// before finding the (easy) answer.
+    fn fresh_instance(n: usize) -> Instance {
+        let universe = TokenUniverse::new((0..n as u32).map(HtId).collect());
+        Instance::fresh(universe)
+    }
+
+    fn starved() -> DegradeBudget {
+        DegradeBudget {
+            exact_timeout: None,
+            bfs: BfsBudget {
+                max_candidates: 0,
+                max_worlds: 4,
+                deadline: None,
+            },
+        }
+    }
+
+    #[test]
+    fn exact_tier_answers_within_budget() {
+        let inst = fresh_instance(6);
+        let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 2));
+        let sel = select_with_fallback(&inst, TokenId(0), policy, DegradeBudget::default())
+            .unwrap();
+        assert_eq!(sel.tier, Tier::ExactBfs);
+        assert_eq!(sel.guarantee, Guarantee::Exact);
+        assert!(!sel.degraded());
+        assert_eq!(sel.guarantee.ratio_bound(), 1.0);
+    }
+
+    #[test]
+    fn starved_bfs_degrades_to_progressive_with_valid_ring() {
+        let inst = fresh_instance(8);
+        let req = DiversityRequirement::new(1.0, 3);
+        let policy = SelectionPolicy::new(req);
+        let sel = select_with_fallback(&inst, TokenId(0), policy, starved()).unwrap();
+        assert_eq!(sel.tier, Tier::Progressive);
+        assert_eq!(sel.attempts, vec![(Tier::ExactBfs, SelectError::BudgetExhausted)]);
+        assert!(sel.degraded());
+        // The degraded answer still satisfies the (c, ℓ) requirement.
+        assert!(sel.selection.ring.contains(TokenId(0)));
+        let hist = HtHistogram::from_ring(&sel.selection.ring, &inst.universe);
+        assert!(req.satisfied_by(&hist));
+        // And carries a finite, ≥1 approximation bound.
+        match sel.guarantee {
+            Guarantee::ProgressiveRatio(b) => assert!(b.is_finite() && b >= 1.0, "{b}"),
+            g => panic!("wrong guarantee {g:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_degrades() {
+        let inst = fresh_instance(8);
+        let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 2));
+        let budget = DegradeBudget {
+            exact_timeout: Some(std::time::Duration::ZERO),
+            bfs: BfsBudget::default(),
+        };
+        let sel = select_with_fallback(&inst, TokenId(0), policy, budget).unwrap();
+        assert_ne!(sel.tier, Tier::ExactBfs);
+        assert!(sel.degraded());
+    }
+
+    #[test]
+    fn game_tier_reports_poa_guarantee() {
+        let inst = fresh_instance(6);
+        let req = DiversityRequirement::new(1.0, 2);
+        let policy = SelectionPolicy::new(req);
+        let sel = select_with_ladder(
+            &inst,
+            TokenId(0),
+            policy,
+            DegradeBudget::default(),
+            &[Tier::GameTheoretic],
+        )
+        .unwrap();
+        assert_eq!(sel.tier, Tier::GameTheoretic);
+        match sel.guarantee {
+            Guarantee::PriceOfAnarchy(b) => assert!(b.is_finite() && b >= 1.0),
+            g => panic!("wrong guarantee {g:?}"),
+        }
+        let hist = HtHistogram::from_ring(&sel.selection.ring, &inst.universe);
+        assert!(req.satisfied_by(&hist));
+    }
+
+    #[test]
+    fn unknown_token_propagates_without_fallback() {
+        let inst = fresh_instance(4);
+        let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 1));
+        assert_eq!(
+            select_with_fallback(&inst, TokenId(99), policy, starved()).unwrap_err(),
+            SelectError::UnknownToken
+        );
+    }
+
+    #[test]
+    fn exact_infeasibility_proof_is_final() {
+        // All tokens share one HT: ℓ = 2 is impossible; the exact tier
+        // proves it and no approximation is consulted.
+        let universe = TokenUniverse::new(vec![HtId(0); 4]);
+        let inst = Instance::fresh(universe);
+        let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 2));
+        assert_eq!(
+            select_with_fallback(&inst, TokenId(0), policy, DegradeBudget::default())
+                .unwrap_err(),
+            SelectError::Infeasible
+        );
+    }
+
+    #[test]
+    fn every_tier_exhausted_returns_last_error() {
+        // Infeasible instance with a starved exact budget: BFS exhausts,
+        // both approximations report infeasibility, the last error wins.
+        let universe = TokenUniverse::new(vec![HtId(0); 8]);
+        let inst = Instance::fresh(universe);
+        let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 2));
+        let err = select_with_fallback(&inst, TokenId(0), policy, starved()).unwrap_err();
+        assert_eq!(err, SelectError::Infeasible);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(Tier::ExactBfs.to_string(), "exact-bfs");
+        assert!(Guarantee::Exact.to_string().contains("exact"));
+        assert!(Guarantee::ProgressiveRatio(2.5).to_string().contains("2.500"));
+        assert!(Guarantee::PriceOfAnarchy(3.0).to_string().contains("PoA"));
+    }
+}

@@ -20,7 +20,10 @@
 //! * [`config`] — the two practical configurations of §6.1 with the
 //!   Theorem 6.1 polynomial DTRS check and Theorem 6.4 margin;
 //! * [`ratio`] — Theorem 6.5 / 6.7 bound computation plus a small-instance
-//!   exact optimum for validating them.
+//!   exact optimum for validating them;
+//! * [`degrade`] — deadline-budgeted graceful degradation chaining
+//!   exact BFS → Progressive → Game-theoretic, reporting which tier
+//!   answered and its approximation guarantee.
 //!
 //! # Example
 //!
@@ -46,6 +49,7 @@
 pub mod baselines;
 pub mod bfs;
 pub mod config;
+pub mod degrade;
 pub mod game;
 pub mod glossary;
 pub mod history;
@@ -60,6 +64,9 @@ pub use baselines::{random, smallest};
 pub use bfs::{bfs, BfsBudget};
 pub use config::{
     dtrs_diverse_fast, dtrs_token_sets_fast, psi, satisfies_first_configuration, SelectionPolicy,
+};
+pub use degrade::{
+    select_with_fallback, select_with_ladder, DegradeBudget, DegradedSelection, Guarantee, Tier,
 };
 pub use game::{game_theoretic, game_theoretic_from, InitStrategy};
 pub use history::ModularHistory;

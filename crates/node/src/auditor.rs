@@ -32,12 +32,19 @@ pub fn chain_view(chain: &Chain) -> ChainView {
     let mut ht_ids: HashMap<TxId, u32> = HashMap::new();
     let n = chain.token_count();
     let mut ht_of = Vec::with_capacity(n);
+    let mut synthetic = 0u32;
     for i in 0..n as u64 {
-        let rec = chain
-            .token(dams_blockchain::TokenId(i))
-            .expect("token ids are dense");
-        let next = ht_ids.len() as u32;
-        let id = *ht_ids.entry(rec.origin).or_insert(next);
+        let next = ht_ids.len() as u32 + synthetic;
+        let id = match chain.token(dams_blockchain::TokenId(i)) {
+            Some(rec) => *ht_ids.entry(rec.origin).or_insert(next),
+            // Unreachable for a well-formed chain (token ids are dense);
+            // a missing record gets a fresh singleton HT label instead of
+            // panicking the auditor.
+            None => {
+                synthetic += 1;
+                next
+            }
+        };
         ht_of.push(HtId(id));
     }
     let universe = TokenUniverse::new(ht_of);
@@ -121,7 +128,7 @@ mod tests {
                     })
                     .collect(),
             );
-            chain.seal_block();
+            chain.seal_block().unwrap();
         }
         // Spend token 0 over ring {0, 3} (cross-origin → diverse).
         let outputs = vec![TokenOutput {
@@ -155,7 +162,7 @@ mod tests {
                 &NoConfiguration,
             )
             .unwrap();
-        chain.seal_block();
+        chain.seal_block().unwrap();
         chain
     }
 
@@ -204,7 +211,7 @@ mod tests {
                 })
                 .collect(),
         );
-        chain.seal_block();
+        chain.seal_block().unwrap();
         let outputs = vec![];
         let shell = Transaction {
             inputs: vec![],
@@ -233,7 +240,7 @@ mod tests {
                 &NoConfiguration,
             )
             .unwrap();
-        chain.seal_block();
+        chain.seal_block().unwrap();
         let report = audit(&chain);
         assert_eq!(report.claim_violations, vec![0]);
     }

@@ -1,0 +1,97 @@
+//! The node half of the typed error taxonomy.
+//!
+//! Everything a simulated node can fail at — chain state operations,
+//! wire decoding, resource exhaustion, snapshot recovery — funnels into
+//! [`NodeError`], so the network layer is panic-free: a Byzantine peer,
+//! a corrupted wire message, or a block flood degrades a node's service,
+//! never its process.
+
+use dams_blockchain::{ChainError, CodecError, VerifyError};
+
+/// Why a node-layer operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeError {
+    /// A chain state operation (seal, adopt, tip lookup) failed.
+    Chain(ChainError),
+    /// A wire message failed to decode.
+    Codec(CodecError),
+    /// The bounded inbox is full — the announcement was rejected
+    /// (back-pressure instead of unbounded growth under a block flood).
+    InboxFull { capacity: usize },
+    /// An operation referenced a node id the bus does not know.
+    UnknownPeer(usize),
+    /// A snapshot's first block is not the canonical genesis, so the
+    /// replica cannot be rebuilt from it.
+    SnapshotGenesisMismatch,
+    /// A snapshot block failed verified replay at the given position.
+    SnapshotBlockInvalid { index: usize, cause: ChainError },
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Chain(e) => write!(f, "chain operation failed: {e}"),
+            NodeError::Codec(e) => write!(f, "wire decode failed: {e}"),
+            NodeError::InboxFull { capacity } => {
+                write!(f, "inbox full ({capacity} messages), announcement rejected")
+            }
+            NodeError::UnknownPeer(id) => write!(f, "unknown peer id {id}"),
+            NodeError::SnapshotGenesisMismatch => {
+                write!(f, "snapshot does not start at the canonical genesis")
+            }
+            NodeError::SnapshotBlockInvalid { index, cause } => {
+                write!(f, "snapshot block {index} failed verified replay: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<ChainError> for NodeError {
+    fn from(e: ChainError) -> Self {
+        NodeError::Chain(e)
+    }
+}
+
+impl From<VerifyError> for NodeError {
+    fn from(e: VerifyError) -> Self {
+        NodeError::Chain(ChainError::Verify(e))
+    }
+}
+
+impl From<CodecError> for NodeError {
+    fn from(e: CodecError) -> Self {
+        NodeError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<NodeError> = vec![
+            ChainError::MissingGenesis.into(),
+            VerifyError::NoInputs.into(),
+            CodecError::Truncated.into(),
+            NodeError::InboxFull { capacity: 4 },
+            NodeError::UnknownPeer(2),
+            NodeError::SnapshotGenesisMismatch,
+            NodeError::SnapshotBlockInvalid {
+                index: 3,
+                cause: ChainError::NotExtendingTip,
+            },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_nest_correctly() {
+        let e: NodeError = VerifyError::NoInputs.into();
+        assert_eq!(e, NodeError::Chain(ChainError::Verify(VerifyError::NoInputs)));
+    }
+}

@@ -12,6 +12,8 @@
 //!   before broadcasting and auditors run over blocks.
 
 pub mod auditor;
+pub mod error;
+pub mod faults;
 pub mod network;
 pub mod report;
 pub mod validate;
@@ -20,7 +22,9 @@ pub mod wallet;
 pub mod views;
 
 pub use auditor::{audit, chain_view, AuditReport, ChainView};
-pub use network::{BlockAnnouncement, Bus, SimNode};
+pub use error::NodeError;
+pub use faults::{run_faulted_simulation, FaultConfig, FaultReport, FaultStats, FaultyBus};
+pub use network::{BlockAnnouncement, Bus, NodeLimits, NodeStats, SimNode};
 pub use report::render_report;
 pub use validate::{validate_ring, Verdict};
 pub use verifier::{AllOf, RecencyConfiguration, TokenMagicConfiguration};

@@ -3,12 +3,20 @@
 //! and TokenMagic batch lists — §4's consensus argument ("users have a
 //! consensus about the block list ... users can have a consensus about
 //! the batch list too") as an executable property.
+//!
+//! The node layer is panic-free and resource-bounded: the inbox and the
+//! orphan pool have hard capacities with TTL eviction, missing parents are
+//! re-requested under exponential backoff, and every failure surfaces as a
+//! typed [`NodeError`] instead of crashing the replica. The deterministic
+//! adversary exercising all of this lives in [`crate::faults`].
 
 use std::collections::VecDeque;
 
-use dams_blockchain::{BatchList, Block, Chain, NoConfiguration};
+use dams_blockchain::{block_to_bytes, decode_block, BatchList, Block, Chain, NoConfiguration};
 use dams_crypto::sha256::Digest;
 use dams_crypto::SchnorrGroup;
+
+use crate::error::NodeError;
 
 /// A network message: one block, addressed to everyone (gossip).
 #[derive(Debug, Clone)]
@@ -16,22 +24,100 @@ pub struct BlockAnnouncement {
     pub block: Block,
 }
 
-/// A simulated node: a chain replica plus an inbox.
+/// Resource bounds of a node: how much out-of-order traffic it buffers
+/// before applying back-pressure, and how patiently it waits for parents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLimits {
+    /// Maximum queued announcements; beyond this, `deliver` rejects.
+    pub inbox_capacity: usize,
+    /// Maximum parked orphan blocks; beyond this, the oldest is evicted.
+    pub orphan_capacity: usize,
+    /// Ticks (inbox-processing rounds) an orphan may wait for its parent
+    /// before being evicted.
+    pub orphan_ttl: u64,
+    /// Parent re-request attempts before giving up on an orphan's
+    /// ancestry (the orphan itself still waits out its TTL).
+    pub max_parent_retries: u32,
+}
+
+impl Default for NodeLimits {
+    fn default() -> Self {
+        NodeLimits {
+            inbox_capacity: 256,
+            orphan_capacity: 64,
+            orphan_ttl: 64,
+            max_parent_retries: 8,
+        }
+    }
+}
+
+/// Counters a node keeps about its own degradation decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Announcements rejected because the inbox was full.
+    pub inbox_rejected: u64,
+    /// Orphans evicted by TTL expiry or pool overflow.
+    pub orphans_evicted: u64,
+    /// Blocks discarded after failing full validation.
+    pub blocks_discarded: u64,
+    /// Duplicate or stale announcements dropped on arrival.
+    pub duplicates_dropped: u64,
+    /// Parent requests emitted (including retries).
+    pub parent_requests: u64,
+}
+
+/// A parked out-of-order block waiting for its parent.
+#[derive(Debug, Clone)]
+struct Orphan {
+    block: Block,
+    /// Tick the orphan entered the pool (TTL reference point).
+    parked_at: u64,
+    /// Parent re-requests already sent for this orphan.
+    retries: u32,
+    /// Earliest tick the next parent request may fire (exponential
+    /// backoff: 1, 2, 4, ... ticks between attempts).
+    next_retry: u64,
+}
+
+/// A simulated node: a chain replica plus bounded inbox and orphan pool.
 pub struct SimNode {
     pub id: usize,
     chain: Chain,
     inbox: VecDeque<BlockAnnouncement>,
-    /// Blocks that arrived out of order, waiting for their parent.
-    orphans: Vec<Block>,
+    orphans: Vec<Orphan>,
+    limits: NodeLimits,
+    /// Logical clock: one tick per `process_inbox` call.
+    tick: u64,
+    stats: NodeStats,
+}
+
+impl std::fmt::Debug for SimNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNode")
+            .field("id", &self.id)
+            .field("height", &self.chain.height())
+            .field("inbox", &self.inbox.len())
+            .field("orphans", &self.orphans.len())
+            .field("tick", &self.tick)
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 impl SimNode {
     pub fn new(id: usize, group: SchnorrGroup) -> Self {
+        Self::with_limits(id, group, NodeLimits::default())
+    }
+
+    pub fn with_limits(id: usize, group: SchnorrGroup, limits: NodeLimits) -> Self {
         SimNode {
             id,
             chain: Chain::new(group),
             inbox: VecDeque::new(),
             orphans: Vec::new(),
+            limits,
+            tick: 0,
+            stats: NodeStats::default(),
         }
     }
 
@@ -44,56 +130,215 @@ impl SimNode {
         &mut self.chain
     }
 
-    pub fn tip_hash(&self) -> Digest {
-        self.chain
-            .blocks()
-            .last()
-            .expect("genesis always present")
-            .hash()
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
     }
 
-    /// Deliver an announcement to this node's inbox.
-    pub fn deliver(&mut self, msg: BlockAnnouncement) {
+    pub fn limits(&self) -> &NodeLimits {
+        &self.limits
+    }
+
+    pub fn tip_hash(&self) -> Result<Digest, NodeError> {
+        Ok(self.chain.tip()?.hash())
+    }
+
+    /// Deliver an announcement to this node's inbox. Rejects (typed, not
+    /// panicking, not allocating) when the inbox is at capacity — the
+    /// gossip layer treats that like a dropped packet and retries later.
+    pub fn deliver(&mut self, msg: BlockAnnouncement) -> Result<(), NodeError> {
+        if self.inbox.len() >= self.limits.inbox_capacity {
+            self.stats.inbox_rejected += 1;
+            return Err(NodeError::InboxFull {
+                capacity: self.limits.inbox_capacity,
+            });
+        }
         self.inbox.push_back(msg);
+        Ok(())
+    }
+
+    /// Whether the chain already contains a block with this hash at its
+    /// recorded height (cheap: height indexes the block list directly).
+    fn already_have(&self, block: &Block) -> bool {
+        self.chain
+            .blocks()
+            .get(block.header.height.0 as usize)
+            .is_some_and(|own| own.hash() == block.hash())
     }
 
     /// Process the inbox: append blocks whose parent is our tip; park the
-    /// rest as orphans and retry them after every successful append.
+    /// rest as orphans (bounded, TTL-limited) and retry them after every
+    /// successful append. Advances the node's logical clock.
     ///
     /// Returns how many blocks were appended.
     pub fn process_inbox(&mut self) -> usize {
-        let mut appended = 0;
+        self.tick += 1;
         while let Some(msg) = self.inbox.pop_front() {
-            self.orphans.push(msg.block);
-            appended += self.drain_orphans();
+            self.park_orphan(msg.block);
         }
+        let appended = self.drain_orphans();
+        self.evict_expired_orphans();
         appended
+    }
+
+    /// Park a block in the orphan pool, deduplicating against the chain
+    /// and the pool, and evicting the oldest entry on overflow.
+    fn park_orphan(&mut self, block: Block) {
+        if self.already_have(&block) {
+            self.stats.duplicates_dropped += 1;
+            return;
+        }
+        let hash = block.hash();
+        if self.orphans.iter().any(|o| o.block.hash() == hash) {
+            self.stats.duplicates_dropped += 1;
+            return;
+        }
+        if self.orphans.len() >= self.limits.orphan_capacity {
+            // Evict the longest-waiting orphan: it has had the most retry
+            // opportunities, so dropping it loses the least progress.
+            if let Some(oldest) = self
+                .orphans
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, o)| o.parked_at)
+                .map(|(i, _)| i)
+            {
+                self.orphans.swap_remove(oldest);
+                self.stats.orphans_evicted += 1;
+            }
+        }
+        self.orphans.push(Orphan {
+            block,
+            parked_at: self.tick,
+            retries: 0,
+            next_retry: self.tick,
+        });
     }
 
     fn drain_orphans(&mut self) -> usize {
         let mut appended = 0;
-        loop {
-            let tip = self.tip_hash();
+        // `tip_hash` failing means corrupted local state: stop consuming,
+        // keep orphans.
+        while let Ok(tip) = self.tip_hash() {
             let Some(pos) = self
                 .orphans
                 .iter()
-                .position(|b| b.header.prev_hash == tip)
+                .position(|o| o.block.header.prev_hash == tip)
             else {
                 break;
             };
-            let block = self.orphans.swap_remove(pos);
-            // Full validation: structure, signatures, key images.
-            if self.chain.verify_block(&block, &NoConfiguration).is_err() {
-                continue; // discard invalid block
+            let orphan = self.orphans.swap_remove(pos);
+            // Full validation: structure, signatures, key images. Invalid
+            // or non-adoptable blocks are discarded, never fatal.
+            if self
+                .chain
+                .verify_block(&orphan.block, &NoConfiguration)
+                .and_then(|()| self.chain.adopt_block(orphan.block))
+                .is_err()
+            {
+                self.stats.blocks_discarded += 1;
+                continue;
             }
-            self.chain.adopt_block(block);
             appended += 1;
         }
         appended
     }
+
+    fn evict_expired_orphans(&mut self) {
+        let ttl = self.limits.orphan_ttl;
+        let tick = self.tick;
+        let before = self.orphans.len();
+        self.orphans
+            .retain(|o| tick.saturating_sub(o.parked_at) <= ttl);
+        self.stats.orphans_evicted += (before - self.orphans.len()) as u64;
+    }
+
+    /// Parent hashes this node wants re-sent: one request per orphan whose
+    /// parent is still missing and whose backoff window has elapsed.
+    /// Each emission doubles the orphan's backoff (1, 2, 4, ... ticks) up
+    /// to `max_parent_retries` attempts.
+    pub fn parent_requests(&mut self) -> Vec<Digest> {
+        let tick = self.tick;
+        let max_retries = self.limits.max_parent_retries;
+        let have: Vec<Digest> = self.chain.blocks().iter().map(Block::hash).collect();
+        let pooled: Vec<Digest> = self.orphans.iter().map(|o| o.block.hash()).collect();
+        let mut requests = Vec::new();
+        for o in &mut self.orphans {
+            let parent = o.block.header.prev_hash;
+            if have.contains(&parent) || pooled.contains(&parent) {
+                continue;
+            }
+            if o.retries >= max_retries || o.next_retry > tick {
+                continue;
+            }
+            o.retries += 1;
+            o.next_retry = tick + (1u64 << o.retries.min(16));
+            requests.push(parent);
+        }
+        self.stats.parent_requests += requests.len() as u64;
+        requests
+    }
+
+    /// Look up a block this node can serve to a peer requesting `hash`.
+    pub fn serve_block(&self, hash: Digest) -> Option<Block> {
+        self.chain
+            .blocks()
+            .iter()
+            .find(|b| b.hash() == hash)
+            .cloned()
+    }
+
+    /// Number of currently parked orphans (for tests and monitoring).
+    pub fn orphan_count(&self) -> usize {
+        self.orphans.len()
+    }
+
+    /// Number of queued, unprocessed announcements.
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Snapshot the node's chain as encoded blocks — the durable state a
+    /// crash survives. Inbox and orphans are volatile and intentionally
+    /// not captured.
+    pub fn snapshot(&self) -> Vec<Vec<u8>> {
+        self.chain.blocks().iter().map(block_to_bytes).collect()
+    }
+
+    /// Rebuild a replica from a snapshot by *verified replay*: the first
+    /// block must be the canonical genesis, and every subsequent block is
+    /// re-validated (structure, signatures, key images) before adoption.
+    /// A corrupted snapshot yields a typed error, never a partial node.
+    pub fn restore(
+        id: usize,
+        group: SchnorrGroup,
+        limits: NodeLimits,
+        snapshot: &[Vec<u8>],
+    ) -> Result<Self, NodeError> {
+        let mut node = SimNode::with_limits(id, group, limits);
+        let mut blocks = snapshot.iter().enumerate();
+        match blocks.next() {
+            Some((_, bytes)) => {
+                let genesis = decode_block(&group, bytes)?;
+                if genesis.hash() != node.tip_hash()? {
+                    return Err(NodeError::SnapshotGenesisMismatch);
+                }
+            }
+            None => return Err(NodeError::SnapshotGenesisMismatch),
+        }
+        for (index, bytes) in blocks {
+            let block = decode_block(&group, bytes)?;
+            node.chain
+                .verify_block(&block, &NoConfiguration)
+                .and_then(|()| node.chain.adopt_block(block))
+                .map_err(|cause| NodeError::SnapshotBlockInvalid { index, cause })?;
+        }
+        Ok(node)
+    }
 }
 
-/// A lossless, reordering message bus between nodes.
+/// A lossless, reordering message bus between nodes — the reference
+/// fault-free network ([`crate::faults::FaultyBus`] is the adversarial
+/// one).
 pub struct Bus {
     pub nodes: Vec<SimNode>,
 }
@@ -107,33 +352,59 @@ impl Bus {
 
     /// Gossip a block from `origin` to every other node, optionally
     /// shuffling delivery order via the given permutation of node ids.
+    /// Full inboxes count as drops (the node's own back-pressure).
     pub fn gossip(&mut self, origin: usize, block: Block, order: &[usize]) {
         for &i in order {
-            if i != origin {
-                self.nodes[i].deliver(BlockAnnouncement {
+            if i != origin && i < self.nodes.len() {
+                let _ = self.nodes[i].deliver(BlockAnnouncement {
                     block: block.clone(),
                 });
             }
         }
     }
 
-    /// Run inbox processing on every node until quiescent.
+    /// Run inbox processing on every node until quiescent, serving parent
+    /// requests between rounds so stragglers can backfill.
     pub fn settle(&mut self) {
         loop {
             let mut progressed = false;
             for n in &mut self.nodes {
                 progressed |= n.process_inbox() > 0;
             }
+            progressed |= self.serve_parent_requests() > 0;
             if !progressed {
                 break;
             }
         }
     }
 
+    /// Answer every pending parent request from whichever node has the
+    /// block. Returns how many responses were delivered.
+    fn serve_parent_requests(&mut self) -> usize {
+        let mut served = 0;
+        for i in 0..self.nodes.len() {
+            let requests = self.nodes[i].parent_requests();
+            for hash in requests {
+                let block = self
+                    .nodes
+                    .iter()
+                    .filter(|n| n.id != i)
+                    .find_map(|n| n.serve_block(hash));
+                if let Some(block) = block {
+                    if self.nodes[i].deliver(BlockAnnouncement { block }).is_ok() {
+                        served += 1;
+                    }
+                }
+            }
+        }
+        served
+    }
+
     /// Whether all nodes share the same tip (consensus).
     pub fn converged(&self) -> bool {
-        let tips: Vec<Digest> = self.nodes.iter().map(SimNode::tip_hash).collect();
-        tips.windows(2).all(|w| w[0] == w[1])
+        let tips: Vec<Option<Digest>> =
+            self.nodes.iter().map(|n| n.tip_hash().ok()).collect();
+        tips.iter().all(Option::is_some) && tips.windows(2).all(|w| w[0] == w[1])
     }
 
     /// Whether all nodes derive identical batch lists at λ.
@@ -169,14 +440,26 @@ mod tests {
                     amount: Amount(1),
                 })
                 .collect();
-            let chain = &mut bus.nodes[0].chain;
+            let chain = bus.nodes[0].chain_mut();
             chain.submit_coinbase(outs);
-            chain.seal_block();
+            chain.seal_block().unwrap();
             let block = chain.blocks().last().expect("just sealed").clone();
             let mut order: Vec<usize> = (0..bus.nodes.len()).collect();
             order.shuffle(&mut rng);
             bus.gossip(0, block, &order);
         }
+    }
+
+    fn mine_one(bus: &mut Bus, rng: &mut StdRng) -> Block {
+        let g = *bus.nodes[0].chain().group();
+        let outs = vec![TokenOutput {
+            owner: KeyPair::generate(&g, rng).public,
+            amount: Amount(1),
+        }];
+        let chain = bus.nodes[0].chain_mut();
+        chain.submit_coinbase(outs);
+        chain.seal_block().unwrap();
+        chain.blocks().last().expect("just sealed").clone()
     }
 
     #[test]
@@ -200,20 +483,9 @@ mod tests {
         // Mine 3 blocks but deliver to node 1 in reverse order: the orphan
         // pool must reassemble them.
         let mut rng = StdRng::seed_from_u64(2);
-        let mut blocks = Vec::new();
-        for _ in 0..3 {
-            let g = *bus.nodes[0].chain().group();
-            let outs = vec![TokenOutput {
-                owner: KeyPair::generate(&g, &mut rng).public,
-                amount: Amount(1),
-            }];
-            let chain = &mut bus.nodes[0].chain;
-            chain.submit_coinbase(outs);
-            chain.seal_block();
-            blocks.push(chain.blocks().last().expect("sealed").clone());
-        }
+        let blocks: Vec<Block> = (0..3).map(|_| mine_one(&mut bus, &mut rng)).collect();
         for b in blocks.into_iter().rev() {
-            bus.nodes[1].deliver(BlockAnnouncement { block: b });
+            bus.nodes[1].deliver(BlockAnnouncement { block: b }).unwrap();
         }
         bus.settle();
         assert!(bus.converged());
@@ -224,20 +496,157 @@ mod tests {
         let group = SchnorrGroup::default();
         let mut bus = Bus::new(2, group);
         let mut rng = StdRng::seed_from_u64(3);
-        let g = *bus.nodes[0].chain().group();
-        let outs = vec![TokenOutput {
-            owner: KeyPair::generate(&g, &mut rng).public,
-            amount: Amount(1),
-        }];
-        let chain = &mut bus.nodes[0].chain;
-        chain.submit_coinbase(outs);
-        chain.seal_block();
-        let mut block = chain.blocks().last().expect("sealed").clone();
+        let mut block = mine_one(&mut bus, &mut rng);
         // Tamper with the content after sealing.
         block.transactions.clear();
-        bus.nodes[1].deliver(BlockAnnouncement { block });
+        bus.nodes[1].deliver(BlockAnnouncement { block }).unwrap();
         bus.settle();
         // Node 1 keeps only genesis; no convergence with poisoned data.
         assert_eq!(bus.nodes[1].chain().height(), 1);
+        assert_eq!(bus.nodes[1].stats().blocks_discarded, 1);
+    }
+
+    #[test]
+    fn inbox_applies_back_pressure() {
+        let group = SchnorrGroup::default();
+        let limits = NodeLimits {
+            inbox_capacity: 2,
+            ..NodeLimits::default()
+        };
+        let mut node = SimNode::with_limits(0, group, limits);
+        let mut bus = Bus::new(1, group);
+        let mut rng = StdRng::seed_from_u64(4);
+        let block = mine_one(&mut bus, &mut rng);
+        assert!(node.deliver(BlockAnnouncement { block: block.clone() }).is_ok());
+        assert!(node.deliver(BlockAnnouncement { block: block.clone() }).is_ok());
+        let err = node.deliver(BlockAnnouncement { block }).unwrap_err();
+        assert_eq!(err, NodeError::InboxFull { capacity: 2 });
+        assert_eq!(node.stats().inbox_rejected, 1);
+    }
+
+    #[test]
+    fn orphan_pool_is_bounded_and_ttl_evicts() {
+        let group = SchnorrGroup::default();
+        let limits = NodeLimits {
+            orphan_capacity: 3,
+            orphan_ttl: 2,
+            ..NodeLimits::default()
+        };
+        let mut bus = Bus::new(1, group);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Mine 5 distinct blocks; withhold their common ancestry from the
+        // victim so every one is an orphan there.
+        let blocks: Vec<Block> = (0..5).map(|_| mine_one(&mut bus, &mut rng)).collect();
+        let mut node = SimNode::with_limits(9, group, limits);
+        for b in blocks.into_iter().skip(1) {
+            node.deliver(BlockAnnouncement { block: b }).unwrap();
+        }
+        node.process_inbox();
+        assert!(node.orphan_count() <= 3, "pool exceeded capacity");
+        assert!(node.stats().orphans_evicted >= 1, "overflow must evict");
+        // Nothing ever parents these orphans: TTL clears the pool.
+        for _ in 0..4 {
+            node.process_inbox();
+        }
+        assert_eq!(node.orphan_count(), 0, "TTL eviction failed");
+    }
+
+    #[test]
+    fn duplicate_announcements_are_dropped_not_pooled() {
+        let group = SchnorrGroup::default();
+        let mut bus = Bus::new(1, group);
+        let mut rng = StdRng::seed_from_u64(6);
+        let b1 = mine_one(&mut bus, &mut rng);
+        let b2 = mine_one(&mut bus, &mut rng);
+        let mut node = SimNode::new(9, group);
+        for _ in 0..3 {
+            node.deliver(BlockAnnouncement { block: b2.clone() }).unwrap();
+        }
+        node.process_inbox();
+        assert_eq!(node.orphan_count(), 1, "duplicates must collapse");
+        node.deliver(BlockAnnouncement { block: b1.clone() }).unwrap();
+        node.deliver(BlockAnnouncement { block: b1 }).unwrap();
+        node.process_inbox();
+        assert_eq!(node.chain().height(), 3, "both blocks adopted once");
+        assert!(node.stats().duplicates_dropped >= 3);
+    }
+
+    #[test]
+    fn parent_requests_backfill_a_gap() {
+        let group = SchnorrGroup::default();
+        let mut bus = Bus::new(2, group);
+        let mut rng = StdRng::seed_from_u64(7);
+        // Node 0 mines 4 blocks; node 1 only hears about the last one.
+        let blocks: Vec<Block> = (0..4).map(|_| mine_one(&mut bus, &mut rng)).collect();
+        let last = blocks.last().unwrap().clone();
+        bus.nodes[1].deliver(BlockAnnouncement { block: last }).unwrap();
+        bus.settle();
+        assert!(bus.converged(), "parent requests should walk the gap");
+        assert!(bus.nodes[1].stats().parent_requests >= 3);
+    }
+
+    #[test]
+    fn parent_request_backoff_caps_retries() {
+        let group = SchnorrGroup::default();
+        let limits = NodeLimits {
+            max_parent_retries: 3,
+            orphan_ttl: 10_000,
+            ..NodeLimits::default()
+        };
+        let mut bus = Bus::new(1, group);
+        let mut rng = StdRng::seed_from_u64(8);
+        let _b1 = mine_one(&mut bus, &mut rng);
+        let b2 = mine_one(&mut bus, &mut rng);
+        let mut node = SimNode::with_limits(9, group, limits);
+        node.deliver(BlockAnnouncement { block: b2 }).unwrap();
+        let mut total = 0;
+        for _ in 0..200 {
+            node.process_inbox();
+            total += node.parent_requests().len();
+        }
+        assert_eq!(total, 3, "backoff must cap at max_parent_retries");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_and_verifies() {
+        let group = SchnorrGroup::default();
+        let mut bus = Bus::new(1, group);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..4 {
+            mine_one(&mut bus, &mut rng);
+        }
+        let snapshot = bus.nodes[0].snapshot();
+        let revived =
+            SimNode::restore(7, group, NodeLimits::default(), &snapshot).unwrap();
+        assert_eq!(revived.tip_hash().unwrap(), bus.nodes[0].tip_hash().unwrap());
+        assert_eq!(revived.chain().token_count(), bus.nodes[0].chain().token_count());
+        assert!(revived.chain().audit());
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_rejected() {
+        let group = SchnorrGroup::default();
+        let mut bus = Bus::new(1, group);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..3 {
+            mine_one(&mut bus, &mut rng);
+        }
+        let mut snapshot = bus.nodes[0].snapshot();
+        // Flip a byte inside the second block's body.
+        let len = snapshot[2].len();
+        snapshot[2][len / 2] ^= 0xFF;
+        let err = SimNode::restore(7, group, NodeLimits::default(), &snapshot).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NodeError::Codec(_) | NodeError::SnapshotBlockInvalid { .. }
+            ),
+            "{err:?}"
+        );
+        // Empty snapshots are equally typed, not panics.
+        assert_eq!(
+            SimNode::restore(7, group, NodeLimits::default(), &[]).unwrap_err(),
+            NodeError::SnapshotGenesisMismatch
+        );
     }
 }

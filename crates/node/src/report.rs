@@ -93,7 +93,7 @@ mod tests {
                 })
                 .collect(),
         );
-        chain.seal_block();
+        chain.seal_block().unwrap();
         let outputs = vec![];
         let shell = Transaction {
             inputs: vec![],
@@ -121,7 +121,7 @@ mod tests {
                 &NoConfiguration,
             )
             .unwrap();
-        chain.seal_block();
+        chain.seal_block().unwrap();
         chain
     }
 

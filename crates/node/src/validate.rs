@@ -27,6 +27,9 @@ pub enum Verdict {
     DtrsViolated,
     /// A previously committed ring would lose its claimed diversity.
     ImmutabilityViolated,
+    /// The caller supplied fewer claims than committed rings, so
+    /// immutability cannot be checked — reject rather than panic.
+    ClaimsMissing,
 }
 
 /// Validate `candidate` (which will claim `req`) against the committed
@@ -52,8 +55,13 @@ pub fn validate_ring(
     let new_id = appended.push(candidate.clone());
     let analysis = analyze(&appended, &[]);
     for (rs, ring) in appended.iter() {
-        let cands = &analysis.candidates[&rs];
-        if cands.len() != ring.len() {
+        // A ring without a candidate entry is fully resolved — the
+        // strongest form of elimination.
+        let eliminated = analysis
+            .candidates
+            .get(&rs)
+            .is_none_or(|cands| cands.len() != ring.len());
+        if eliminated {
             let _ = new_id;
             return Verdict::EliminationPossible;
         }
@@ -73,7 +81,9 @@ pub fn validate_ring(
     // disjoint from each committed ring (Theorem 6.3); the contained
     // rings' subset counts grow by one, so re-check their DTRS diversity.
     for (rs, ring) in history.iter() {
-        let claim = claims[rs.0 as usize];
+        let Some(&claim) = claims.get(rs.0 as usize) else {
+            return Verdict::ClaimsMissing;
+        };
         let v_old = history
             .iter()
             .filter(|(other, r)| *other != rs && r.is_superset(ring))

@@ -101,7 +101,7 @@ mod tests {
                 })
                 .collect();
             chain.submit_coinbase(outs);
-            chain.seal_block();
+            chain.seal_block().unwrap();
         }
         FullNode::new(chain, lambda)
     }

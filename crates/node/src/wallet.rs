@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use dams_blockchain::{
-    Chain, RingConfiguration, RingInput, TokenOutput, Transaction, VerifyError,
+    Chain, ChainError, RingConfiguration, RingInput, TokenOutput, Transaction, VerifyError,
 };
 use dams_core::{ModularInstance, PracticalAlgorithm, SelectionPolicy, TokenMagic};
 use dams_crypto::{KeyPair, PublicKey};
@@ -31,6 +31,10 @@ pub enum WalletError {
     Validation(Verdict),
     /// The chain rejected the signed transaction.
     Chain(VerifyError),
+    /// Sealing the block (or another chain state operation) failed.
+    ChainState(ChainError),
+    /// Signing over the selected ring failed.
+    Signing(dams_crypto::SignError),
     /// The committed history is not laminar — the chain contains rings
     /// that violate the first practical configuration.
     BrokenHistory,
@@ -43,6 +47,8 @@ impl std::fmt::Display for WalletError {
             WalletError::Selection(e) => write!(f, "mixin selection failed: {e}"),
             WalletError::Validation(v) => write!(f, "self-validation rejected the ring: {v:?}"),
             WalletError::Chain(e) => write!(f, "chain rejected the transaction: {e}"),
+            WalletError::ChainState(e) => write!(f, "chain state operation failed: {e}"),
+            WalletError::Signing(e) => write!(f, "ring signing failed: {e}"),
             WalletError::BrokenHistory => {
                 write!(f, "committed rings violate the practical configuration")
             }
@@ -179,10 +185,10 @@ impl Wallet {
             .collect();
         let ring_keys: Vec<PublicKey> = ring_ids
             .iter()
-            .map(|t| chain.token(*t).expect("selected from the view").owner)
-            .collect();
+            .map(|t| chain.token(*t).map(|rec| rec.owner).ok_or(WalletError::NotOurs(*t)))
+            .collect::<Result<_, _>>()?;
         let sig = dams_crypto::sign(chain.group(), &payload, &ring_keys, &signer, rng)
-            .expect("signer owns a ring member");
+            .map_err(WalletError::Signing)?;
         let tx = Transaction {
             inputs: vec![RingInput {
                 ring: ring_ids,
@@ -194,7 +200,7 @@ impl Wallet {
             memo: vec![],
         };
         chain.submit(tx, config).map_err(WalletError::Chain)?;
-        chain.seal_block();
+        chain.seal_block().map_err(WalletError::ChainState)?;
         Ok(selection.ring)
     }
 }
@@ -223,7 +229,7 @@ mod tests {
                 })
                 .collect();
             chain.submit_coinbase(outs);
-            chain.seal_block();
+            chain.seal_block().unwrap();
         }
         (chain, wallet, rng)
     }
@@ -248,7 +254,7 @@ mod tests {
                 })
                 .collect(),
         );
-        chain_ledger.seal_block();
+        chain_ledger.seal_block().unwrap();
         let _ = &mut rng;
 
         let mut restored = Wallet::new(
@@ -349,7 +355,7 @@ mod tests {
             owner: outsider.public,
             amount: Amount(1),
         }]);
-        chain.seal_block();
+        chain.seal_block().unwrap();
         let foreign = dams_blockchain::TokenId(16);
         let receiver = KeyPair::generate(chain.group(), &mut rng).public;
         let err = wallet

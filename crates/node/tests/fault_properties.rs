@@ -1,0 +1,121 @@
+//! Seed-sweep properties for the fault-injection harness: the §4
+//! consensus argument must hold under drops, duplicates, reordering,
+//! delays, partitions, and crash/restart — for *every* seed, not a lucky
+//! one. Each property sweeps 64 PRNG seeds; a failure message names the
+//! seed so the run replays exactly (`dams_cli --faults <seed>`).
+
+use dams_crypto::sha256::Digest;
+use dams_crypto::SchnorrGroup;
+use dams_node::{run_faulted_simulation, FaultConfig, FaultyBus};
+
+const SEEDS: u64 = 64;
+
+fn tips(bus: &FaultyBus) -> Vec<Digest> {
+    bus.nodes.iter().map(|n| n.tip_hash().unwrap()).collect()
+}
+
+/// Partition-then-heal: a minority side cut off during mining must catch
+/// back up after the heal, ending on the identical tip hash and batch
+/// list as the majority.
+#[test]
+fn partition_then_heal_converges_across_seeds() {
+    let group = SchnorrGroup::default();
+    for seed in 0..SEEDS {
+        let mut bus = FaultyBus::new(3, group, seed, FaultConfig::default());
+        for _ in 0..3 {
+            bus.mine_and_gossip(0, 2).unwrap();
+            bus.step();
+        }
+        bus.partition(&[2]).unwrap();
+        for _ in 0..2 {
+            bus.mine_and_gossip(0, 2).unwrap();
+            bus.step();
+        }
+        bus.heal();
+        let ticks = bus.run_until_quiet(400);
+        assert!(ticks.is_some(), "seed {seed}: no convergence after heal");
+        let tips = tips(&bus);
+        assert!(
+            tips.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: divergent tips {tips:?}"
+        );
+        assert!(bus.batch_consensus(3), "seed {seed}: batch lists diverge");
+    }
+}
+
+/// Idempotence: aggressive duplication + delay + reordering (no losses)
+/// must change nothing — every replica applies each block exactly once
+/// and lands on the mined height.
+#[test]
+fn duplicated_reordered_delivery_is_idempotent_across_seeds() {
+    let group = SchnorrGroup::default();
+    let cfg = FaultConfig {
+        drop_prob: 0.0,
+        dup_prob: 0.6,
+        delay_prob: 0.4,
+        max_delay: 4,
+        corrupt_prob: 0.0,
+        reorder: true,
+    };
+    const MINED: usize = 5;
+    for seed in 0..SEEDS {
+        let mut bus = FaultyBus::new(3, group, seed, cfg);
+        for _ in 0..MINED {
+            bus.mine_and_gossip(0, 2).unwrap();
+            bus.step();
+        }
+        let ticks = bus.run_until_quiet(300);
+        assert!(ticks.is_some(), "seed {seed}: no convergence");
+        for node in &bus.nodes {
+            // Genesis + each mined block exactly once, despite duplicates.
+            assert_eq!(
+                node.chain().height(),
+                MINED + 1,
+                "seed {seed}: duplicate application"
+            );
+        }
+        assert!(bus.batch_consensus(4), "seed {seed}: batch lists diverge");
+        assert!(bus.stats.duplicated > 0, "seed {seed}: fault model inert");
+    }
+}
+
+/// Crash/restart: a replica rebuilt from its snapshot by verified replay
+/// must reconverge with the survivors on the same tip and batch list.
+#[test]
+fn crash_restart_reconverges_across_seeds() {
+    let group = SchnorrGroup::default();
+    for seed in 0..SEEDS {
+        let mut bus = FaultyBus::new(3, group, seed, FaultConfig::default());
+        for _ in 0..3 {
+            bus.mine_and_gossip(0, 2).unwrap();
+            bus.step();
+        }
+        bus.crash_and_restore(1).unwrap();
+        for _ in 0..2 {
+            bus.mine_and_gossip(0, 2).unwrap();
+            bus.step();
+        }
+        let ticks = bus.run_until_quiet(400);
+        assert!(ticks.is_some(), "seed {seed}: no reconvergence after crash");
+        let tips = tips(&bus);
+        assert!(
+            tips.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: divergent tips {tips:?}"
+        );
+        assert!(bus.batch_consensus(3), "seed {seed}: batch lists diverge");
+    }
+}
+
+/// The full scripted adversarial scenario (drop + duplicate + reorder +
+/// delay + corrupt + partition/heal + crash/restore) converges for every
+/// seed — the acceptance criterion of the fault-injection work.
+#[test]
+fn scripted_simulation_converges_across_seeds() {
+    for seed in 0..SEEDS {
+        let report = run_faulted_simulation(seed);
+        assert!(report.converged, "seed {seed}: {report:?}");
+        assert!(report.batch_consensus, "seed {seed}: {report:?}");
+        assert!(report.ticks.is_some(), "seed {seed}: tick budget exhausted");
+        assert_eq!(report.height, 10, "seed {seed}: lost mined blocks");
+    }
+}

@@ -10,7 +10,7 @@
 use rand::Rng;
 
 use dams_blockchain::{
-    Amount, Chain, NoConfiguration, RingInput, TokenOutput, Transaction, VerifyError,
+    Amount, Chain, ChainError, NoConfiguration, RingInput, TokenOutput, Transaction, VerifyError,
 };
 use dams_crypto::{KeyPair, SchnorrGroup};
 use dams_diversity::{HtId, RingSet, TokenUniverse};
@@ -56,7 +56,9 @@ impl ChainWorkload {
                 .collect();
             let first_ledger_id = chain.token_count() as u64;
             chain.submit_coinbase(outs);
-            chain.seal_block();
+            // A chain built by `Chain::new` always has a genesis block, so
+            // sealing a coinbase block cannot fail here.
+            let _ = chain.seal_block();
             for (k, &i) in ids.iter().enumerate() {
                 ledger[i as usize] = dams_blockchain::TokenId(first_ledger_id + k as u64);
             }
@@ -88,6 +90,10 @@ impl ChainWorkload {
 
     /// Spend `consumed` with the mixin ring `ring` (which must contain it):
     /// sign, verify, and commit a 1-output transaction on-chain.
+    ///
+    /// A ring that does not contain `consumed` surfaces as
+    /// `ChainError::Verify(BadSignature)` — the signer's key is absent
+    /// from the declared ring, so no valid signature exists.
     pub fn spend<R: Rng + ?Sized>(
         &mut self,
         ring: &RingSet,
@@ -95,8 +101,7 @@ impl ChainWorkload {
         claimed_c: f64,
         claimed_l: usize,
         rng: &mut R,
-    ) -> Result<(), VerifyError> {
-        assert!(ring.contains(consumed), "ring must contain the spent token");
+    ) -> Result<(), ChainError> {
         let receiver = KeyPair::generate(self.chain.group(), rng);
         let outputs = vec![TokenOutput {
             owner: receiver.public,
@@ -120,7 +125,7 @@ impl ChainWorkload {
         let ring_keys: Vec<dams_crypto::PublicKey> = members.iter().map(|(_, k)| *k).collect();
         let signer = self.keys[consumed.0 as usize];
         let sig = dams_crypto::sign(self.chain.group(), &payload, &ring_keys, &signer, rng)
-            .expect("signer owns a ring member");
+            .map_err(|_| VerifyError::BadSignature { input_index: 0 })?;
         let tx = Transaction {
             inputs: vec![RingInput {
                 ring: ring_ids,
@@ -132,7 +137,7 @@ impl ChainWorkload {
             memo: vec![],
         };
         self.chain.submit(tx, &NoConfiguration)?;
-        self.chain.seal_block();
+        self.chain.seal_block()?;
         Ok(())
     }
 }
@@ -190,7 +195,10 @@ mod tests {
         let err = w
             .spend(&ring(&[0, 3, 5]), TokenId(0), 0.6, 2, &mut rng)
             .unwrap_err();
-        assert!(matches!(err, VerifyError::ImageReused(_)), "{err:?}");
+        assert!(
+            matches!(err, ChainError::Verify(VerifyError::ImageReused(_))),
+            "{err:?}"
+        );
     }
 
     #[test]

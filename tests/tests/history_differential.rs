@@ -4,7 +4,6 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use dams_core::{
     progressive, Instance, ModularHistory, ModularInstance, SelectionPolicy,

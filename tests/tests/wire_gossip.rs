@@ -28,17 +28,19 @@ fn byte_gossip_converges() {
             .collect();
         let chain = bus.nodes[0].chain_mut();
         chain.submit_coinbase(outs);
-        chain.seal_block();
+        chain.seal_block().unwrap();
         wire.push(block_to_bytes(chain.blocks().last().expect("sealed")));
     }
 
     // Peers decode from bytes (validating group membership en route).
     for bytes in &wire {
         let block = decode_block(&group, bytes).expect("well-formed wire block");
-        bus.nodes[1].deliver(BlockAnnouncement {
-            block: block.clone(),
-        });
-        bus.nodes[2].deliver(BlockAnnouncement { block });
+        bus.nodes[1]
+            .deliver(BlockAnnouncement {
+                block: block.clone(),
+            })
+            .unwrap();
+        bus.nodes[2].deliver(BlockAnnouncement { block }).unwrap();
     }
     bus.settle();
     assert!(bus.converged());
@@ -60,7 +62,7 @@ fn corrupted_wire_block_never_reaches_the_chain() {
     }];
     let chain = bus.nodes[0].chain_mut();
     chain.submit_coinbase(outs);
-    chain.seal_block();
+    chain.seal_block().unwrap();
     let mut bytes = block_to_bytes(chain.blocks().last().expect("sealed"));
 
     // Flip bits across the block: corruption in the transaction payload
@@ -81,7 +83,7 @@ fn corrupted_wire_block_never_reaches_the_chain() {
             | Err(CodecError::InvalidElement(_)) => decode_failures += 1,
             Ok(block) => {
                 let before = bus.nodes[1].chain().height();
-                bus.nodes[1].deliver(BlockAnnouncement { block });
+                bus.nodes[1].deliver(BlockAnnouncement { block }).unwrap();
                 bus.nodes[1].process_inbox();
                 // Either the prev_hash no longer links (orphan forever) or
                 // the content hash mismatch discards it.
