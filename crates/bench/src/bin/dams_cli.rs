@@ -5,7 +5,8 @@
 //! dams-cli attack  --rings "1,2;1,2;2,3"
 //! dams-cli audit   --spends 5 [--seed N]
 //! dams-cli hardness --rings "1,2;1,2;2,3,4"
-//! dams-cli --faults 7
+//! dams-cli bench   [--out BENCH_baseline.json] [--seed N]
+//! dams-cli --faults 7 [--metrics text|json]
 //! ```
 //!
 //! * `select` — generate a synthetic batch (Table 3 defaults) and run one
@@ -16,18 +17,28 @@
 //!   anonymity report.
 //! * `hardness` — count the token–RS combinations (possible worlds) of
 //!   literal rings via the Theorem 3.1 reduction.
+//! * `bench` — run a representative workload across every selection
+//!   algorithm, the degrade ladder, and the faulted node simulation, then
+//!   write the full metrics snapshot to a JSON baseline file.
 //! * `--faults N` — replay the scripted adversarial simulation (drop +
 //!   duplicate + reorder + delay + corrupt + partition/heal +
 //!   crash/restore) from seed N and print the fault report. The same
 //!   seed always reproduces the same run.
+//! * `--metrics text|json` — after any command, print the process-wide
+//!   metrics snapshot in deterministic mode (timers show only counts), so
+//!   two runs with the same seed emit byte-identical output.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dams_core::{PracticalAlgorithm, SelectionPolicy, TokenMagic};
+use dams_core::{
+    select_with_fallback, select_with_ladder, BfsBudget, DegradeBudget, Instance,
+    PracticalAlgorithm, SelectionPolicy, Tier, TokenMagic,
+};
+use dams_obs::Mode;
 use dams_diversity::{
-    analyze, batch_anonymity, matching::reduction_graph, DiversityRequirement, HtHistogram,
-    NeighborTracker, RingIndex, RingSet, TokenId,
+    analyze, batch_anonymity, matching::reduction_graph, DiversityRequirement, HtHistogram, HtId,
+    NeighborTracker, RingIndex, RingSet, TokenId, TokenUniverse,
 };
 use dams_workload::{simulate_batch, SimulationConfig, SyntheticConfig};
 
@@ -42,6 +53,7 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let metrics_format = parse_metrics_flag(&args);
 
     // `--faults <seed>` works from any position (including as the leading
     // argument) so a failing property test's seed pastes straight in.
@@ -49,7 +61,13 @@ fn main() {
         let seed: u64 = get("--faults")
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(|| die("--faults requires a u64 seed"));
-        replay_faults(seed);
+        let ok = replay_faults(seed);
+        // Metrics print even on a failed run — a diverged replica's
+        // counters are exactly what the investigation wants.
+        print_metrics(metrics_format);
+        if !ok {
+            std::process::exit(1);
+        }
         return;
     }
 
@@ -160,13 +178,104 @@ fn main() {
                 "counting these is the #P-complete EPMBG problem of Theorem 3.1"
             );
         }
+        "bench" => {
+            let out = get("--out").unwrap_or_else(|| "BENCH_baseline.json".into());
+            run_bench_workload(seed);
+            let snapshot = dams_obs::global().snapshot();
+            let json = snapshot.render_json(Mode::Full);
+            if let Err(e) = std::fs::write(&out, &json) {
+                die(&format!("cannot write {out}: {e}"));
+            }
+            println!("wrote {out} ({} metrics)", snapshot.entries.len());
+        }
         _ => usage(),
+    }
+    print_metrics(metrics_format);
+}
+
+/// The `--metrics` flag: `text`, `json`, or (with no / a flag-like value)
+/// the text default. Works from any argument position.
+fn parse_metrics_flag(args: &[String]) -> Option<MetricsFormat> {
+    let i = args.iter().position(|a| a == "--metrics")?;
+    match args.get(i + 1).map(String::as_str) {
+        Some("json") => Some(MetricsFormat::Json),
+        Some("text") | None => Some(MetricsFormat::Text),
+        Some(other) if other.starts_with("--") => Some(MetricsFormat::Text),
+        Some(other) => die(&format!("unknown metrics format {other} (want text|json)")),
     }
 }
 
+#[derive(Clone, Copy)]
+enum MetricsFormat {
+    Text,
+    Json,
+}
+
+/// Print the global registry snapshot in deterministic mode (timers show
+/// observation counts only), so fixed-seed runs emit identical bytes.
+fn print_metrics(format: Option<MetricsFormat>) {
+    let Some(format) = format else { return };
+    let snapshot = dams_obs::global().snapshot();
+    match format {
+        MetricsFormat::Text => print!("{}", snapshot.render_text(Mode::Deterministic)),
+        MetricsFormat::Json => print!("{}", snapshot.render_json(Mode::Deterministic)),
+    }
+}
+
+/// Exercise every instrumented layer so the baseline snapshot covers the
+/// BFS, Progressive, and Game-theoretic selectors, the degrade ladder, and
+/// the blockchain/node counters — all from one seed.
+fn run_bench_workload(seed: u64) {
+    // Degrade ladder on a small fresh instance: a generous budget answers
+    // at the exact tier; a starved one falls through to Progressive; an
+    // explicit rung exercises the Game-theoretic tier.
+    let universe = TokenUniverse::new((0..8u32).map(HtId).collect());
+    let inst = Instance::fresh(universe);
+    let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 2));
+    let _ = select_with_fallback(&inst, TokenId(0), policy, DegradeBudget::default());
+    let starved = DegradeBudget {
+        exact_timeout: None,
+        bfs: BfsBudget {
+            max_candidates: 0,
+            max_worlds: 4,
+            deadline: None,
+        },
+    };
+    let _ = select_with_fallback(&inst, TokenId(1), policy, starved);
+    let _ = select_with_ladder(
+        &inst,
+        TokenId(2),
+        policy,
+        DegradeBudget::default(),
+        &[Tier::GameTheoretic],
+    );
+
+    // One TokenMagic selection per practical algorithm on a synthetic
+    // batch (Table 3 defaults).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let instance = SyntheticConfig::default().generate(&mut rng);
+    for algorithm in [
+        PracticalAlgorithm::Progressive,
+        PracticalAlgorithm::GameTheoretic,
+        PracticalAlgorithm::Smallest,
+        PracticalAlgorithm::Random,
+    ] {
+        let tm = TokenMagic::new(
+            algorithm,
+            SelectionPolicy::new(DiversityRequirement::new(0.6, 20)),
+        );
+        let _ = tm.select_for(&instance, TokenId(0), &mut rng);
+    }
+
+    // The adversarial node simulation populates the chain.* and node.*
+    // families (blocks sealed/adopted, verify latency, bus faults).
+    let _ = dams_node::run_faulted_simulation(seed);
+}
+
 /// Replay the scripted adversarial simulation from `seed` and print the
-/// report a failing property test would want reproduced.
-fn replay_faults(seed: u64) {
+/// report a failing property test would want reproduced. Returns whether
+/// the replicas converged on one tip and one batch list.
+fn replay_faults(seed: u64) -> bool {
     let report = dams_node::run_faulted_simulation(seed);
     println!("faulted simulation, seed {seed}:");
     println!(
@@ -190,9 +299,7 @@ fn replay_faults(seed: u64) {
         "  rejected: {} undecodable, {} inbox-full, {} partition-blocked",
         s.decode_rejected, s.inbox_rejected, s.partition_blocked
     );
-    if !report.converged || !report.batch_consensus {
-        std::process::exit(1);
-    }
+    report.converged && report.batch_consensus
 }
 
 fn hex(bytes: &[u8]) -> String {
@@ -216,8 +323,9 @@ fn parse_rings(s: &str) -> Vec<RingSet> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dams-cli <select|attack|audit|hardness> [--algorithm tm_s|tm_r|tm_p|tm_g] \
-         [--c F] [--l N] [--target N] [--rings \"1,2;2,3\"] [--spends N] [--seed N]\n\
+        "usage: dams-cli <select|attack|audit|hardness|bench> [--algorithm tm_s|tm_r|tm_p|tm_g] \
+         [--c F] [--l N] [--target N] [--rings \"1,2;2,3\"] [--spends N] [--seed N] \
+         [--out FILE] [--metrics text|json]\n\
          \x20      dams-cli --faults <seed>   replay a faulted node simulation"
     );
     std::process::exit(2);

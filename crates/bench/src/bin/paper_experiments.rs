@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use dams_bench::harness::{render, render_fig3, render_fig4, shape_violations};
+use dams_bench::harness::{render, render_fig3, render_fig4, shape_report};
 use dams_bench::series;
 use dams_core::BfsBudget;
 
@@ -134,7 +134,15 @@ fn main() {
             print!("{}", render(&fig));
             println!();
             if args.check_shapes {
-                violations.extend(shape_violations(&fig));
+                let report = shape_report(&fig);
+                if report.rows_skipped > 0 {
+                    eprintln!(
+                        "{name}: skipped {} of {} rows (all-failure points)",
+                        report.rows_skipped,
+                        report.rows_skipped + report.rows_checked
+                    );
+                }
+                violations.extend(report.violations);
             }
         }
     }

@@ -24,10 +24,31 @@ pub fn render(figure: &Figure) -> String {
     out
 }
 
+/// Outcome of checking one figure's qualitative claims: the failures plus
+/// an account of how many rows actually carried data. Skipped rows are
+/// reported, not silently dropped, so a figure whose every point failed
+/// to produce a ring cannot pass the shape check vacuously.
+#[derive(Debug, Clone, Default)]
+pub struct ShapeReport {
+    /// Failed claims, as human-readable text.
+    pub violations: Vec<String>,
+    /// Rows whose size columns were all present (Claim 1 evaluated).
+    pub rows_checked: usize,
+    /// Rows skipped because some algorithm had no successes (NaN size).
+    pub rows_skipped: usize,
+}
+
 /// The qualitative claims a measured figure must satisfy (one per figure;
 /// see DESIGN.md's shape table). Each failed claim is returned as text.
 pub fn shape_violations(figure: &Figure) -> Vec<String> {
-    let mut issues = Vec::new();
+    shape_report(figure).violations
+}
+
+/// [`shape_violations`] with the row accounting exposed, so callers can
+/// print how much of a figure was actually checked.
+pub fn shape_report(figure: &Figure) -> ShapeReport {
+    let mut report = ShapeReport::default();
+    let issues = &mut report.violations;
     // Claim 1 (all figures): TM_G <= TM_P < TM_S and TM_R on mean size,
     // checked row-wise with a small tolerance for sampling noise.
     for row in &figure.rows {
@@ -35,8 +56,12 @@ pub fn shape_violations(figure: &Figure) -> Vec<String> {
         // indices in APPROACHES: 0 = TM_S, 1 = TM_R, 2 = TM_P, 3 = TM_G
         let (s, r, p, g) = (size(0), size(1), size(2), size(3));
         if [s, r, p, g].iter().any(|v| v.is_nan()) {
-            continue; // all-failure points carry no size information
+            // All-failure points carry no size information — but they are
+            // counted, and an all-skipped figure fails below.
+            report.rows_skipped += 1;
+            continue;
         }
+        report.rows_checked += 1;
         let tol = 1.05;
         if g > p * tol {
             issues.push(format!(
@@ -50,6 +75,15 @@ pub fn shape_violations(figure: &Figure) -> Vec<String> {
                 figure.name, row.x
             ));
         }
+    }
+    // Vacuity guard: a non-empty figure where every row was skipped has
+    // demonstrated nothing — surface that as a violation instead of an
+    // accidental pass.
+    if !figure.rows.is_empty() && report.rows_checked == 0 {
+        issues.push(format!(
+            "{}: all {} rows skipped (every point has a NaN size) — shape claims vacuous",
+            figure.name, report.rows_skipped
+        ));
     }
     // Claim 2 (monotone direction of the proposed algorithms' size curve).
     let dir = match figure.name {
@@ -89,7 +123,7 @@ pub fn shape_violations(figure: &Figure) -> Vec<String> {
             }
         }
     }
-    issues
+    report
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -178,6 +212,63 @@ mod tests {
             }],
         };
         assert!(shape_violations(&fig).is_empty());
+    }
+
+    fn nan_point() -> MeasuredPoint {
+        MeasuredPoint {
+            mean_size: f64::NAN,
+            mean_micros: f64::NAN,
+            successes: 0,
+            failures: 1,
+        }
+    }
+
+    #[test]
+    fn all_nan_figure_cannot_pass_vacuously() {
+        let fig = Figure {
+            name: "fig5",
+            x_axis: "c",
+            rows: vec![
+                FigureRow {
+                    x: "0.2".into(),
+                    points: vec![nan_point(), nan_point(), nan_point(), nan_point()],
+                },
+                FigureRow {
+                    x: "0.4".into(),
+                    points: vec![point(10.0), point(11.0), nan_point(), point(7.0)],
+                },
+            ],
+        };
+        let report = shape_report(&fig);
+        assert_eq!(report.rows_checked, 0);
+        assert_eq!(report.rows_skipped, 2);
+        assert!(
+            report.violations.iter().any(|v| v.contains("vacuous")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn partially_nan_figure_counts_skips_without_failing() {
+        let fig = Figure {
+            name: "fig5",
+            x_axis: "c",
+            rows: vec![
+                FigureRow {
+                    x: "0.2".into(),
+                    points: vec![nan_point(), nan_point(), nan_point(), nan_point()],
+                },
+                FigureRow {
+                    x: "0.4".into(),
+                    points: vec![point(12.0), point(13.0), point(9.0), point(8.0)],
+                },
+            ],
+        };
+        let report = shape_report(&fig);
+        assert_eq!(report.rows_checked, 1);
+        assert_eq!(report.rows_skipped, 1);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
     }
 
     #[test]

@@ -80,6 +80,11 @@ impl BatchList {
                 closed: false,
             });
         }
+        let metrics = crate::obs::ChainMetrics::global();
+        metrics.lists_built.inc();
+        for b in &batches {
+            metrics.batch_size.record(b.tokens.len() as u64);
+        }
         BatchList { lambda, batches }
     }
 

@@ -260,15 +260,21 @@ impl Chain {
         tx: Transaction,
         config: &dyn RingConfiguration,
     ) -> Result<(), VerifyError> {
-        self.verify_transaction(&tx, config)?;
+        let metrics = crate::obs::ChainMetrics::global();
+        if let Err(e) = self.verify_transaction(&tx, config) {
+            metrics.rs_rejected.inc();
+            return Err(e);
+        }
         // Reserve the images immediately so the mempool itself cannot hold
         // two spends of one token.
         for input in &tx.inputs {
             let img = input.key_image().value();
             if !self.consumed_images.insert(img) {
+                metrics.rs_rejected.inc();
                 return Err(VerifyError::ImageReused(img));
             }
         }
+        metrics.rs_appended.inc();
         self.mempool.push(tx);
         Ok(())
     }
@@ -316,6 +322,7 @@ impl Chain {
             },
             transactions: committed,
         });
+        crate::obs::ChainMetrics::global().blocks_sealed.inc();
         Ok(height)
     }
 
@@ -326,6 +333,20 @@ impl Chain {
     /// block's transactions are checked in order, so intra-block double
     /// spends are caught too.
     pub fn verify_block(
+        &self,
+        block: &Block,
+        config: &dyn RingConfiguration,
+    ) -> Result<(), ChainError> {
+        let metrics = crate::obs::ChainMetrics::global();
+        let _timer = metrics.verify_block.start_span();
+        let result = self.verify_block_inner(block, config);
+        if result.is_err() {
+            metrics.blocks_rejected.inc();
+        }
+        result
+    }
+
+    fn verify_block_inner(
         &self,
         block: &Block,
         config: &dyn RingConfiguration,
@@ -412,6 +433,7 @@ impl Chain {
             self.next_tx = self.next_tx.max(ct.id.0 + 1);
         }
         self.blocks.push(block);
+        crate::obs::ChainMetrics::global().blocks_adopted.inc();
         Ok(())
     }
 

@@ -8,6 +8,7 @@
 
 pub mod batch;
 pub mod confidential;
+pub mod obs;
 pub mod fees;
 pub mod block;
 pub mod chain;
@@ -21,5 +22,6 @@ pub use block::{Block, BlockHeader};
 pub use chain::{Chain, ChainError, NoConfiguration, RingConfiguration, TokenRecord, VerifyError};
 pub use codec::{block_to_bytes, decode_block, transaction_to_bytes, CodecError};
 pub use fees::{select_for_block, FeeSchedule};
+pub use obs::ChainMetrics;
 pub use transaction::{CommittedTransaction, RingInput, TokenOutput, Transaction};
 pub use types::{Amount, BlockHeight, TokenId, Timestamp, TxId};

@@ -1,0 +1,83 @@
+//! Ledger-layer metrics (`chain.*`).
+//!
+//! Counters and histograms for the hot paths of [`crate::chain::Chain`]
+//! and [`crate::batch::BatchList`]: blocks appended (sealed locally or
+//! adopted from peers), ring-signature transactions admitted to the
+//! mempool, batch-list shape, and block-verification latency.
+//!
+//! All instrumented call sites record into [`ChainMetrics::global`], which
+//! lives in [`dams_obs::global`]. Tests that need isolation can build a
+//! [`ChainMetrics::in_registry`] over a private [`Registry`], but the
+//! `Chain` methods themselves always use the global sink — the chain is a
+//! consensus object and its metrics are process-wide by design.
+
+use std::sync::OnceLock;
+
+use dams_obs::{Counter, Histogram, Registry, Unit};
+
+/// Handles to every `chain.*` metric.
+#[derive(Clone)]
+pub struct ChainMetrics {
+    /// `chain.blocks.sealed_total` — blocks committed by [`Chain::seal_block`](crate::Chain::seal_block).
+    pub blocks_sealed: Counter,
+    /// `chain.blocks.adopted_total` — peer blocks applied by [`Chain::adopt_block`](crate::Chain::adopt_block).
+    pub blocks_adopted: Counter,
+    /// `chain.rs.appended_total` — ring-signature transactions admitted by
+    /// [`Chain::submit`](crate::Chain::submit) (coinbase minting is not counted: it carries no RS).
+    pub rs_appended: Counter,
+    /// `chain.rs.rejected_total` — transactions refused by verification.
+    pub rs_rejected: Counter,
+    /// `chain.batch.size` — token count of each batch built by
+    /// [`BatchList::build`](crate::BatchList::build).
+    pub batch_size: Histogram,
+    /// `chain.batch.lists_built_total` — batch-list constructions.
+    pub lists_built: Counter,
+    /// `chain.verify.block_ns` — wall time of [`Chain::verify_block`](crate::Chain::verify_block).
+    pub verify_block: Histogram,
+    /// `chain.verify.blocks_rejected_total` — blocks failing verification.
+    pub blocks_rejected: Counter,
+}
+
+impl ChainMetrics {
+    /// Build (or re-attach to) the `chain.*` metrics inside `registry`.
+    pub fn in_registry(registry: &Registry) -> Self {
+        ChainMetrics {
+            blocks_sealed: registry.counter("chain.blocks.sealed_total"),
+            blocks_adopted: registry.counter("chain.blocks.adopted_total"),
+            rs_appended: registry.counter("chain.rs.appended_total"),
+            rs_rejected: registry.counter("chain.rs.rejected_total"),
+            batch_size: registry.histogram("chain.batch.size", Unit::Count),
+            lists_built: registry.counter("chain.batch.lists_built_total"),
+            verify_block: registry.histogram("chain.verify.block_ns", Unit::Nanos),
+            blocks_rejected: registry.counter("chain.verify.blocks_rejected_total"),
+        }
+    }
+
+    /// The process-wide instance, backed by [`dams_obs::global`].
+    pub fn global() -> &'static ChainMetrics {
+        static GLOBAL: OnceLock<ChainMetrics> = OnceLock::new();
+        GLOBAL.get_or_init(|| ChainMetrics::in_registry(dams_obs::global()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_registry_reattaches_same_counters() {
+        let r = Registry::new();
+        let a = ChainMetrics::in_registry(&r);
+        let b = ChainMetrics::in_registry(&r);
+        a.blocks_sealed.inc();
+        assert_eq!(b.blocks_sealed.get(), 1);
+    }
+
+    #[test]
+    fn global_is_stable() {
+        let a = ChainMetrics::global();
+        let b = ChainMetrics::global();
+        a.lists_built.inc();
+        assert!(b.lists_built.get() >= 1);
+    }
+}

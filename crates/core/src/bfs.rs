@@ -123,6 +123,7 @@ fn check_candidate(
     // Diversity constraint, first half (lines 6-8): the ring's own HT set.
     stats.diversity_checks += 1;
     if !req.satisfied_by(&HtHistogram::from_ring(rs, &instance.universe)) {
+        stats.pruned += 1;
         return Ok(false);
     }
 

@@ -25,9 +25,10 @@ use crate::bfs::{bfs, BfsBudget};
 use crate::config::SelectionPolicy;
 use crate::game::game_theoretic;
 use crate::instance::{Instance, ModularInstance};
+use crate::obs::CoreMetrics;
 use crate::progressive::progressive;
 use crate::ratio::RatioParams;
-use crate::selection::{SelectError, Selection};
+use crate::selection::{Algorithm, SelectError, Selection};
 
 /// One rung of the fallback ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,6 +44,15 @@ pub enum Tier {
 impl Tier {
     /// The default ladder, best guarantee first.
     pub const DEFAULT_LADDER: [Tier; 3] = [Tier::ExactBfs, Tier::Progressive, Tier::GameTheoretic];
+
+    /// The selection algorithm backing this tier (for metric attribution).
+    fn algorithm(self) -> Algorithm {
+        match self {
+            Tier::ExactBfs => Algorithm::Bfs,
+            Tier::Progressive => Algorithm::Progressive,
+            Tier::GameTheoretic => Algorithm::GameTheoretic,
+        }
+    }
 }
 
 impl std::fmt::Display for Tier {
@@ -153,6 +163,22 @@ pub fn select_with_ladder(
     budget: DegradeBudget,
     ladder: &[Tier],
 ) -> Result<DegradedSelection, SelectError> {
+    select_with_ladder_observed(instance, target, policy, budget, ladder, CoreMetrics::global())
+}
+
+/// [`select_with_ladder`] recording into an explicit metric set instead of
+/// the process-wide registry. Tests build a fresh `dams_obs::Registry`,
+/// bind [`CoreMetrics::in_registry`] to it, and then assert exact tier
+/// counts from its snapshot ("fell back to Progressive exactly k times")
+/// without interference from parallel test threads.
+pub fn select_with_ladder_observed(
+    instance: &Instance,
+    target: TokenId,
+    policy: SelectionPolicy,
+    budget: DegradeBudget,
+    ladder: &[Tier],
+    metrics: &CoreMetrics,
+) -> Result<DegradedSelection, SelectError> {
     assert!(!ladder.is_empty(), "empty tier ladder");
 
     // The approximation tiers need the modular view; decompose lazily so a
@@ -162,6 +188,8 @@ pub fn select_with_ladder(
 
     for (rung, &tier) in ladder.iter().enumerate() {
         let last = rung == ladder.len() - 1;
+        let (answered, tier_timer) = metrics.tier(tier);
+        let _attempt_span = tier_timer.start_span();
         let outcome = match tier {
             Tier::ExactBfs => {
                 let bfs_budget = BfsBudget {
@@ -210,6 +238,10 @@ pub fn select_with_ladder(
 
         match outcome {
             Ok((selection, guarantee)) => {
+                answered.inc();
+                metrics.degrade_fallbacks.add(attempts.len() as u64);
+                metrics.degrade_ring_size.record(selection.size() as u64);
+                metrics.record_stats(tier.algorithm(), &selection.stats);
                 return Ok(DegradedSelection {
                     selection,
                     tier,

@@ -54,6 +54,7 @@ pub mod game;
 pub mod glossary;
 pub mod history;
 pub mod instance;
+pub mod obs;
 pub mod parallel;
 pub mod progressive;
 pub mod ratio;
@@ -66,11 +67,13 @@ pub use config::{
     dtrs_diverse_fast, dtrs_token_sets_fast, psi, satisfies_first_configuration, SelectionPolicy,
 };
 pub use degrade::{
-    select_with_fallback, select_with_ladder, DegradeBudget, DegradedSelection, Guarantee, Tier,
+    select_with_fallback, select_with_ladder, select_with_ladder_observed, DegradeBudget,
+    DegradedSelection, Guarantee, Tier,
 };
 pub use game::{game_theoretic, game_theoretic_from, InitStrategy};
 pub use history::ModularHistory;
 pub use instance::{DecomposeError, Instance, ModularInstance, Module, ModuleId, ModuleKind};
+pub use obs::CoreMetrics;
 pub use parallel::generate_parallel;
 pub use progressive::progressive;
 pub use ratio::{optimal_modular, RatioParams};

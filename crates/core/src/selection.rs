@@ -62,6 +62,9 @@ pub struct SelectionStats {
     pub diversity_checks: u64,
     /// Best-response or greedy iterations executed.
     pub iterations: u64,
+    /// Candidates rejected before world enumeration (the BFS's cheap
+    /// diversity pre-check; approximation algorithms leave this at 0).
+    pub pruned: u64,
 }
 
 /// Why a selection failed.

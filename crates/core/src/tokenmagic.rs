@@ -71,12 +71,24 @@ impl TokenMagic {
         token: TokenId,
         rng: &mut R,
     ) -> Result<Selection, SelectError> {
-        match self.algorithm {
+        let metrics = crate::obs::CoreMetrics::global();
+        let algorithm = match self.algorithm {
+            PracticalAlgorithm::Progressive => Algorithm::Progressive,
+            PracticalAlgorithm::GameTheoretic => Algorithm::GameTheoretic,
+            PracticalAlgorithm::Smallest => Algorithm::Smallest,
+            PracticalAlgorithm::Random => Algorithm::Random,
+        };
+        let _span = metrics.select_span(algorithm);
+        let outcome = match self.algorithm {
             PracticalAlgorithm::Progressive => progressive(instance, token, self.policy),
             PracticalAlgorithm::GameTheoretic => game_theoretic(instance, token, self.policy),
             PracticalAlgorithm::Smallest => smallest(instance, token, self.policy),
             PracticalAlgorithm::Random => random_alg(instance, token, self.policy, rng),
+        };
+        if let Ok(selection) = &outcome {
+            metrics.record_selection(algorithm, selection);
         }
+        outcome
     }
 
     /// Algorithm 1: generate a ring for `target`, hiding the target among

@@ -26,6 +26,7 @@ use dams_crypto::{KeyPair, SchnorrGroup};
 
 use crate::error::NodeError;
 use crate::network::{BlockAnnouncement, NodeLimits, SimNode};
+use crate::obs::NodeMetrics;
 
 /// Per-delivery fault probabilities and knobs. All probabilities are in
 /// `[0, 1]` and evaluated independently per message copy.
@@ -196,8 +197,10 @@ impl FaultyBus {
     /// Push one message copy through the fault gauntlet.
     fn send(&mut self, dest: usize, bytes: Vec<u8>) {
         self.stats.sent += 1;
+        NodeMetrics::global().bus_sent.inc();
         if self.rng.gen_bool(self.cfg.dup_prob.clamp(0.0, 1.0)) {
             self.stats.duplicated += 1;
+            NodeMetrics::global().bus_duplicated.inc();
             let copy = bytes.clone();
             self.enqueue_copy(dest, copy);
         }
@@ -205,19 +208,23 @@ impl FaultyBus {
     }
 
     fn enqueue_copy(&mut self, dest: usize, mut bytes: Vec<u8>) {
+        let metrics = NodeMetrics::global();
         if self.rng.gen_bool(self.cfg.drop_prob.clamp(0.0, 1.0)) {
             self.stats.dropped += 1;
+            metrics.bus_dropped.inc();
             return;
         }
         if !bytes.is_empty() && self.rng.gen_bool(self.cfg.corrupt_prob.clamp(0.0, 1.0)) {
             let idx = self.rng.gen_range(0..bytes.len());
             bytes[idx] ^= 1u8 << self.rng.gen_range(0..8u32);
             self.stats.corrupted += 1;
+            metrics.bus_corrupted.inc();
         }
         let due = if self.cfg.max_delay > 0
             && self.rng.gen_bool(self.cfg.delay_prob.clamp(0.0, 1.0))
         {
             self.stats.delayed += 1;
+            metrics.bus_delayed.inc();
             self.tick + self.rng.gen_range(1..=self.cfg.max_delay)
         } else {
             self.tick
@@ -238,6 +245,7 @@ impl FaultyBus {
             }
             if !self.reachable(origin, dest) {
                 self.stats.partition_blocked += 1;
+                NodeMetrics::global().bus_partition_blocked.inc();
                 continue;
             }
             self.send(dest, bytes.clone());
@@ -315,11 +323,15 @@ impl FaultyBus {
                         .is_ok()
                     {
                         self.stats.delivered += 1;
+                        NodeMetrics::global().bus_delivered.inc();
                     } else {
                         self.stats.inbox_rejected += 1;
                     }
                 }
-                None => self.stats.decode_rejected += 1,
+                None => {
+                    self.stats.decode_rejected += 1;
+                    NodeMetrics::global().bus_decode_rejected.inc();
+                }
             }
         }
 

@@ -15,6 +15,7 @@ pub mod auditor;
 pub mod error;
 pub mod faults;
 pub mod network;
+pub mod obs;
 pub mod report;
 pub mod validate;
 pub mod verifier;
@@ -25,6 +26,7 @@ pub use auditor::{audit, chain_view, AuditReport, ChainView};
 pub use error::NodeError;
 pub use faults::{run_faulted_simulation, FaultConfig, FaultReport, FaultStats, FaultyBus};
 pub use network::{BlockAnnouncement, Bus, NodeLimits, NodeStats, SimNode};
+pub use obs::NodeMetrics;
 pub use report::render_report;
 pub use validate::{validate_ring, Verdict};
 pub use verifier::{AllOf, RecencyConfiguration, TokenMagicConfiguration};

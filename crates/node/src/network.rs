@@ -17,6 +17,7 @@ use dams_crypto::sha256::Digest;
 use dams_crypto::SchnorrGroup;
 
 use crate::error::NodeError;
+use crate::obs::NodeMetrics;
 
 /// A network message: one block, addressed to everyone (gossip).
 #[derive(Debug, Clone)]
@@ -148,11 +149,15 @@ impl SimNode {
     pub fn deliver(&mut self, msg: BlockAnnouncement) -> Result<(), NodeError> {
         if self.inbox.len() >= self.limits.inbox_capacity {
             self.stats.inbox_rejected += 1;
+            NodeMetrics::global().inbox_rejected.inc();
             return Err(NodeError::InboxFull {
                 capacity: self.limits.inbox_capacity,
             });
         }
         self.inbox.push_back(msg);
+        NodeMetrics::global()
+            .inbox_high_watermark
+            .set_max(self.inbox.len() as i64);
         Ok(())
     }
 
@@ -185,11 +190,13 @@ impl SimNode {
     fn park_orphan(&mut self, block: Block) {
         if self.already_have(&block) {
             self.stats.duplicates_dropped += 1;
+            NodeMetrics::global().duplicates_dropped.inc();
             return;
         }
         let hash = block.hash();
         if self.orphans.iter().any(|o| o.block.hash() == hash) {
             self.stats.duplicates_dropped += 1;
+            NodeMetrics::global().duplicates_dropped.inc();
             return;
         }
         if self.orphans.len() >= self.limits.orphan_capacity {
@@ -204,6 +211,7 @@ impl SimNode {
             {
                 self.orphans.swap_remove(oldest);
                 self.stats.orphans_evicted += 1;
+                NodeMetrics::global().orphans_evicted.inc();
             }
         }
         self.orphans.push(Orphan {
@@ -212,6 +220,9 @@ impl SimNode {
             retries: 0,
             next_retry: self.tick,
         });
+        NodeMetrics::global()
+            .orphans_high_watermark
+            .set_max(self.orphans.len() as i64);
     }
 
     fn drain_orphans(&mut self) -> usize {
@@ -236,6 +247,7 @@ impl SimNode {
                 .is_err()
             {
                 self.stats.blocks_discarded += 1;
+                NodeMetrics::global().blocks_discarded.inc();
                 continue;
             }
             appended += 1;
@@ -249,7 +261,9 @@ impl SimNode {
         let before = self.orphans.len();
         self.orphans
             .retain(|o| tick.saturating_sub(o.parked_at) <= ttl);
-        self.stats.orphans_evicted += (before - self.orphans.len()) as u64;
+        let expired = (before - self.orphans.len()) as u64;
+        self.stats.orphans_evicted += expired;
+        NodeMetrics::global().orphans_evicted.add(expired);
     }
 
     /// Parent hashes this node wants re-sent: one request per orphan whose
@@ -275,6 +289,9 @@ impl SimNode {
             requests.push(parent);
         }
         self.stats.parent_requests += requests.len() as u64;
+        NodeMetrics::global()
+            .parent_requests
+            .add(requests.len() as u64);
         requests
     }
 

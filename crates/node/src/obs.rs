@@ -1,0 +1,102 @@
+//! Node- and network-layer metrics (`node.*`).
+//!
+//! Mirrors the per-object counters the node layer already keeps
+//! ([`crate::network::NodeStats`], [`crate::faults::FaultStats`]) into the
+//! process-wide [`dams_obs`] registry, and adds two high-watermark gauges
+//! the per-object stats cannot express: the deepest inbox and the fullest
+//! orphan pool seen by any replica.
+//!
+//! Every recorded value derives from the simulation's seeded PRNG stream,
+//! so a fixed seed yields a byte-identical deterministic snapshot — the
+//! property `dams-cli --faults <seed> --metrics json` is tested on.
+
+use std::sync::OnceLock;
+
+use dams_obs::{Counter, Gauge, Registry};
+
+/// Handles to every `node.*` metric.
+#[derive(Clone)]
+pub struct NodeMetrics {
+    /// `node.bus.sent_total` — message copies handed to the faulty bus.
+    pub bus_sent: Counter,
+    /// `node.bus.dropped_total` — copies dropped in flight.
+    pub bus_dropped: Counter,
+    /// `node.bus.duplicated_total` — extra copies injected by duplication.
+    pub bus_duplicated: Counter,
+    /// `node.bus.delayed_total` — copies held back by a delivery delay.
+    pub bus_delayed: Counter,
+    /// `node.bus.corrupted_total` — copies with a byte flipped.
+    pub bus_corrupted: Counter,
+    /// `node.bus.decode_rejected_total` — deliveries the wire decoder refused.
+    pub bus_decode_rejected: Counter,
+    /// `node.bus.partition_blocked_total` — sends suppressed by a partition.
+    pub bus_partition_blocked: Counter,
+    /// `node.bus.delivered_total` — copies that reached a node's inbox.
+    pub bus_delivered: Counter,
+    /// `node.inbox.rejected_total` — deliveries refused by a full inbox.
+    pub inbox_rejected: Counter,
+    /// `node.inbox.high_watermark` — deepest inbox observed on any replica.
+    pub inbox_high_watermark: Gauge,
+    /// `node.orphans.evicted_total` — orphans lost to TTL or pool overflow.
+    pub orphans_evicted: Counter,
+    /// `node.orphans.high_watermark` — fullest orphan pool observed.
+    pub orphans_high_watermark: Gauge,
+    /// `node.blocks.discarded_total` — blocks failing full validation.
+    pub blocks_discarded: Counter,
+    /// `node.duplicates.dropped_total` — duplicate announcements dropped.
+    pub duplicates_dropped: Counter,
+    /// `node.parent.requests_total` — backoff parent re-requests emitted.
+    pub parent_requests: Counter,
+}
+
+impl NodeMetrics {
+    /// Build (or re-attach to) the `node.*` metrics inside `registry`.
+    pub fn in_registry(registry: &Registry) -> Self {
+        NodeMetrics {
+            bus_sent: registry.counter("node.bus.sent_total"),
+            bus_dropped: registry.counter("node.bus.dropped_total"),
+            bus_duplicated: registry.counter("node.bus.duplicated_total"),
+            bus_delayed: registry.counter("node.bus.delayed_total"),
+            bus_corrupted: registry.counter("node.bus.corrupted_total"),
+            bus_decode_rejected: registry.counter("node.bus.decode_rejected_total"),
+            bus_partition_blocked: registry.counter("node.bus.partition_blocked_total"),
+            bus_delivered: registry.counter("node.bus.delivered_total"),
+            inbox_rejected: registry.counter("node.inbox.rejected_total"),
+            inbox_high_watermark: registry.gauge("node.inbox.high_watermark"),
+            orphans_evicted: registry.counter("node.orphans.evicted_total"),
+            orphans_high_watermark: registry.gauge("node.orphans.high_watermark"),
+            blocks_discarded: registry.counter("node.blocks.discarded_total"),
+            duplicates_dropped: registry.counter("node.duplicates.dropped_total"),
+            parent_requests: registry.counter("node.parent.requests_total"),
+        }
+    }
+
+    /// The process-wide instance, backed by [`dams_obs::global`].
+    pub fn global() -> &'static NodeMetrics {
+        static GLOBAL: OnceLock<NodeMetrics> = OnceLock::new();
+        GLOBAL.get_or_init(|| NodeMetrics::in_registry(dams_obs::global()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_registry_reattaches_same_counters() {
+        let r = Registry::new();
+        let a = NodeMetrics::in_registry(&r);
+        let b = NodeMetrics::in_registry(&r);
+        a.bus_sent.inc();
+        assert_eq!(b.bus_sent.get(), 1);
+    }
+
+    #[test]
+    fn watermark_gauges_only_rise() {
+        let r = Registry::new();
+        let m = NodeMetrics::in_registry(&r);
+        m.inbox_high_watermark.set_max(5);
+        m.inbox_high_watermark.set_max(3);
+        assert_eq!(m.inbox_high_watermark.get(), 5);
+    }
+}

@@ -1,0 +1,281 @@
+//! The metric primitives: counter, gauge, histogram, span timer.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `2^63`.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+///
+/// Cloning shares the underlying atomic, so a handle registered once can
+/// be stashed in any number of structs.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways: queue depths, pool sizes, watermarks.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is below it (high-watermark tracking).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What a histogram's values denote — this decides how it renders in
+/// deterministic mode (see the crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Pure counts (ring sizes, batch sizes): deterministic under a fixed
+    /// seed, rendered fully in every mode.
+    Count,
+    /// Wall-clock nanoseconds (span timers): only the observation count
+    /// is rendered in deterministic mode.
+    Nanos,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    unit: Unit,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A log2-bucketed histogram: bucket 0 holds zeros, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`. 65 buckets cover the whole `u64` domain,
+/// the resolution (one power of two) is plenty for latency and size
+/// distributions, and recording is one atomic add — no locks, no
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// Bucket index for a recorded value.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (used as the quantile estimate).
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    pub fn new(unit: Unit) -> Self {
+        Histogram(Arc::new(HistogramInner {
+            unit,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+
+    pub fn unit(&self) -> Unit {
+        self.0.unit
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let inner = &*self.0;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Start an RAII span: the elapsed wall time in nanoseconds is
+    /// recorded when the returned guard drops.
+    pub fn start_span(&self) -> Span {
+        Span {
+            hist: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs.
+    pub fn buckets(&self) -> Vec<(usize, u64)> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i, n))
+            })
+            .collect()
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the
+    /// bucket containing the ⌈q·n⌉-th observation. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// RAII timer guard from [`Histogram::start_span`]. Records the elapsed
+/// nanoseconds into its histogram on drop.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos();
+        self.hist.record(u64::try_from(nanos).unwrap_or(u64::MAX));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_tracks_max() {
+        let g = Gauge::new();
+        g.set(3);
+        g.add(2);
+        g.sub(1);
+        assert_eq!(g.get(), 4);
+        g.set_max(2);
+        assert_eq!(g.get(), 4, "set_max never lowers");
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_counts_sums_and_buckets() {
+        let h = Histogram::new(Unit::Count);
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.buckets(), vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new(Unit::Count);
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..99 {
+            h.record(5); // bucket 3, upper bound 7
+        }
+        h.record(1_000_000); // bucket 20
+        assert_eq!(h.quantile(0.5), Some(7));
+        assert_eq!(h.quantile(0.99), Some(7));
+        assert_eq!(h.quantile(1.0), Some((1u64 << 20) - 1));
+    }
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let h = Histogram::new(Unit::Nanos);
+        {
+            let _span = h.start_span();
+        }
+        assert_eq!(h.count(), 1);
+    }
+}

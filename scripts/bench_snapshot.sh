@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Produce BENCH_baseline.json: a full-mode metrics snapshot of one
+# representative run across every selection algorithm, the degrade
+# ladder, and the faulted node simulation.
+#
+#   scripts/bench_snapshot.sh [OUT] [SEED]
+#
+# OUT defaults to BENCH_baseline.json at the repo root; SEED to 42.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_baseline.json}"
+SEED="${2:-42}"
+
+cargo build --release -q -p dams-bench --bin dams-cli
+./target/release/dams-cli bench --out "$OUT" --seed "$SEED"
+
+# Well-formedness gate: the snapshot must parse as JSON and cover the
+# BFS, Progressive, Game-theoretic, and degrade-tier metric families.
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+required = [
+    "core.bfs.candidates_total",
+    "core.select.tm_p.rings_total",
+    "core.select.tm_g.rings_total",
+    "core.degrade.answered.exact_bfs_total",
+    "core.degrade.answered.progressive_total",
+    "core.degrade.answered.game_theoretic_total",
+    "core.degrade.ring_size",
+    "chain.blocks.sealed_total",
+    "node.bus.sent_total",
+]
+missing = [name for name in required if name not in doc]
+if missing:
+    sys.exit(f"{path} is missing required metrics: {missing}")
+print(f"{path}: {len(doc)} metrics, all required families present")
+EOF

@@ -25,4 +25,17 @@ echo "== experiment shapes (quick) =="
 cargo run --release -q -p dams-bench --bin paper-experiments -- \
   fig5 fig8 --samples 30 --check-shapes > /dev/null
 
+echo "== metrics determinism =="
+# Two runs of the same seeded scenario must render byte-identical
+# deterministic snapshots (the dams-obs contract; see DESIGN.md).
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release -q -p dams-bench --bin dams-cli -- --faults 42 --metrics json > "$tmpdir/a.json"
+cargo run --release -q -p dams-bench --bin dams-cli -- --faults 42 --metrics json > "$tmpdir/b.json"
+cmp "$tmpdir/a.json" "$tmpdir/b.json"
+echo "deterministic snapshots identical"
+
+echo "== bench snapshot =="
+./scripts/bench_snapshot.sh BENCH_baseline.json 42
+
 echo "all checks passed"
