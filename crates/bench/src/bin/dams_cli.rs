@@ -5,7 +5,7 @@
 //! dams-cli attack  --rings "1,2;1,2;2,3"
 //! dams-cli audit   --spends 5 [--seed N]
 //! dams-cli hardness --rings "1,2;1,2;2,3,4"
-//! dams-cli bench   [--out BENCH_baseline.json] [--seed N]
+//! dams-cli bench   [--out BENCH_baseline.json] [--selection-out BENCH_selection.json] [--seed N]
 //! dams-cli --faults 7 [--metrics text|json]
 //! ```
 //!
@@ -19,7 +19,9 @@
 //!   literal rings via the Theorem 3.1 reduction.
 //! * `bench` — run a representative workload across every selection
 //!   algorithm, the degrade ladder, and the faulted node simulation, then
-//!   write the full metrics snapshot to a JSON baseline file.
+//!   write the full metrics snapshot to a JSON baseline file. Also runs
+//!   the selection perf figure (optimized engines vs. seed references)
+//!   and writes its rows to `--selection-out`.
 //! * `--faults N` — replay the scripted adversarial simulation (drop +
 //!   duplicate + reorder + delay + corrupt + partition/heal +
 //!   crash/restore) from seed N and print the fault report. The same
@@ -180,7 +182,20 @@ fn main() {
         }
         "bench" => {
             let out = get("--out").unwrap_or_else(|| "BENCH_baseline.json".into());
+            let selection_out = get("--selection-out")
+                .unwrap_or_else(|| "BENCH_selection.json".into());
             run_bench_workload(seed);
+            // The selection figure runs before the snapshot is written so
+            // its cache traffic (core.cache.*) lands in the baseline too.
+            let figure = dams_bench::selection_figure(seed);
+            if let Err(e) = std::fs::write(&selection_out, figure.render_json()) {
+                die(&format!("cannot write {selection_out}: {e}"));
+            }
+            println!(
+                "wrote {selection_out} (exact_bfs {:.2}x, tm_g {:.2}x)",
+                figure.exact_bfs.speedup(),
+                figure.tm_g.speedup()
+            );
             let snapshot = dams_obs::global().snapshot();
             let json = snapshot.render_json(Mode::Full);
             if let Err(e) = std::fs::write(&out, &json) {
@@ -325,7 +340,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: dams-cli <select|attack|audit|hardness|bench> [--algorithm tm_s|tm_r|tm_p|tm_g] \
          [--c F] [--l N] [--target N] [--rings \"1,2;2,3\"] [--spends N] [--seed N] \
-         [--out FILE] [--metrics text|json]\n\
+         [--out FILE] [--selection-out FILE] [--metrics text|json]\n\
          \x20      dams-cli --faults <seed>   replay a faulted node simulation"
     );
     std::process::exit(2);

@@ -6,4 +6,7 @@
 
 pub mod harness;
 pub mod microbench;
+pub mod selection_figure;
 pub mod series;
+
+pub use selection_figure::{selection_figure, FigureRow, SelectionFigure};

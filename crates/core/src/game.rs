@@ -11,8 +11,9 @@
 
 use std::collections::BTreeSet;
 
-use dams_diversity::{HtId, TokenId};
+use dams_diversity::{DeltaHistogram, DiversityRequirement, HtId, TokenId};
 
+use crate::cache::ProfileCache;
 use crate::config::SelectionPolicy;
 use crate::instance::{ModularInstance, ModuleId};
 use crate::selection::{Algorithm, SelectError, Selection, SelectionStats};
@@ -24,6 +25,86 @@ pub fn game_theoretic(
     policy: SelectionPolicy,
 ) -> Result<Selection, SelectError> {
     game_theoretic_from(instance, target, policy, InitStrategy::CoverageGreedy)
+}
+
+/// A profile evaluated incrementally: the [`DeltaHistogram`] and ring size
+/// are flipped by one *module* at a time instead of rebuilding an
+/// [`dams_diversity::HtHistogram`] over every selected token per cost
+/// evaluation. Verdicts route through
+/// [`DiversityRequirement::satisfied_by_parts`] and sizes are the same
+/// integers `ModularInstance::size_of` sums, so decisions are identical to
+/// the reference path.
+struct ProfileEval<'a> {
+    instance: &'a ModularInstance,
+    req: DiversityRequirement,
+    hist: DeltaHistogram,
+    size: usize,
+    selected: Vec<bool>,
+    /// Bitset mirror of `selected` — the [`ProfileCache`] key.
+    words: Vec<u64>,
+}
+
+impl<'a> ProfileEval<'a> {
+    fn new(instance: &'a ModularInstance, req: DiversityRequirement, selected: &[bool]) -> Self {
+        let mut eval = ProfileEval {
+            instance,
+            req,
+            hist: DeltaHistogram::for_universe(&instance.universe),
+            size: 0,
+            selected: vec![false; selected.len()],
+            words: vec![0u64; selected.len().div_ceil(64)],
+        };
+        for (i, &on) in selected.iter().enumerate() {
+            if on {
+                eval.set(ModuleId(i), true);
+            }
+        }
+        eval
+    }
+
+    /// Flip one player's strategy (no-op when already there).
+    fn set(&mut self, m: ModuleId, v: bool) {
+        if self.selected[m.0] == v {
+            return;
+        }
+        self.selected[m.0] = v;
+        self.words[m.0 / 64] ^= 1u64 << (m.0 % 64);
+        let module = self.instance.module(m);
+        for &t in module.tokens.tokens() {
+            if v {
+                self.hist.add_token(&self.instance.universe, t);
+            } else {
+                self.hist.remove_token(&self.instance.universe, t);
+            }
+        }
+        if v {
+            self.size += module.len();
+        } else {
+            self.size -= module.len();
+        }
+    }
+
+    /// Evaluate the current profile: (diverse?, ring size). Counts one
+    /// diversity check — exactly like the reference `profile_cost` — and
+    /// consults/fills the cache when one is provided.
+    fn eval(&self, stats: &mut SelectionStats, cache: Option<&ProfileCache>) -> (bool, usize) {
+        stats.diversity_checks += 1;
+        if let Some(cache) = cache {
+            if let Some((ok, size)) = cache.lookup(&self.words) {
+                return (ok, size as usize);
+            }
+        }
+        let ok = self.hist.satisfies(&self.req);
+        if let Some(cache) = cache {
+            cache.insert(&self.words, (ok, self.size as u32));
+        }
+        (ok, self.size)
+    }
+
+    /// Uncounted, uncached verdict on the current profile.
+    fn satisfied(&self) -> bool {
+        self.hist.satisfies(&self.req)
+    }
 }
 
 /// How the best-response dynamics are initialised (ablation hook).
@@ -42,6 +123,19 @@ pub fn game_theoretic_from(
     target: TokenId,
     policy: SelectionPolicy,
     init: InitStrategy,
+) -> Result<Selection, SelectError> {
+    game_theoretic_with(instance, target, policy, init, None)
+}
+
+/// Run with an explicit initialisation strategy and an optional profile
+/// cache (sound to share across a TokenMagic batch over one frozen
+/// instance + policy — profile verdicts do not depend on the target).
+pub fn game_theoretic_with(
+    instance: &ModularInstance,
+    target: TokenId,
+    policy: SelectionPolicy,
+    init: InitStrategy,
+    cache: Option<&ProfileCache>,
 ) -> Result<Selection, SelectError> {
     if (target.0 as usize) >= instance.universe.len() {
         return Err(SelectError::UnknownToken);
@@ -116,7 +210,7 @@ pub fn game_theoretic_from(
     let mut best: Option<Vec<bool>> = None;
     for order in [&index_order, &size_order] {
         let mut profile = selected.clone();
-        if !best_response(instance, order, x_tau, req, &mut profile, &mut stats) {
+        if !best_response(instance, order, x_tau, req, &mut profile, &mut stats, cache) {
             continue;
         }
         let size: usize = (0..n_modules)
@@ -159,11 +253,175 @@ pub fn game_theoretic_from(
 
 /// Run sequential best-response to a Nash equilibrium under the given
 /// player order; returns whether the final profile satisfies `req`.
+///
+/// Costs are evaluated incrementally through [`ProfileEval`]: flipping one
+/// player touches only that module's tokens instead of rebuilding the
+/// whole ring histogram. Decisions are identical to the reference
+/// `profile_cost` formulation — the verdict comes from the same integers
+/// via [`DiversityRequirement::satisfied_by_parts`], and comparing integer
+/// sizes equals comparing `size / |A|` as `f64` (division by a positive
+/// constant is monotone and the sizes are far below 2^53, with `∞` for
+/// non-diverse profiles and ties resolving to φ).
 fn best_response(
     instance: &ModularInstance,
     order: &[ModuleId],
     x_tau: ModuleId,
-    req: dams_diversity::DiversityRequirement,
+    req: DiversityRequirement,
+    selected: &mut [bool],
+    stats: &mut SelectionStats,
+    cache: Option<&ProfileCache>,
+) -> bool {
+    let mut eval = ProfileEval::new(instance, req, selected);
+    let max_passes = 4 * order.len() + 16;
+    let mut converged = false;
+    for _pass in 0..max_passes {
+        let mut changed = false;
+        for &mid in order {
+            if mid == x_tau {
+                continue; // a_τ is fixed to φ
+            }
+            stats.iterations += 1;
+            eval.set(mid, true);
+            let (ok_selected, size_selected) = eval.eval(stats, cache);
+            eval.set(mid, false);
+            let (ok_unselected, size_unselected) = eval.eval(stats, cache);
+            // Choose the cheaper strategy; ties resolve to φ (selected).
+            let want = if ok_selected {
+                !ok_unselected || size_selected <= size_unselected
+            } else {
+                !ok_unselected
+            };
+            eval.set(mid, want);
+            if selected[mid.0] != want {
+                selected[mid.0] = want;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+    debug_assert!(converged, "best response exceeded its potential bound");
+    stats.diversity_checks += 1;
+    eval.satisfied()
+}
+
+/// The seed implementation, kept verbatim: equivalence oracle for the
+/// incremental engine and the baseline side of the selection bench figure.
+/// Every cost evaluation rebuilds the module list and the full ring
+/// histogram from scratch.
+pub fn game_theoretic_reference(
+    instance: &ModularInstance,
+    target: TokenId,
+    policy: SelectionPolicy,
+    init: InitStrategy,
+) -> Result<Selection, SelectError> {
+    if (target.0 as usize) >= instance.universe.len() {
+        return Err(SelectError::UnknownToken);
+    }
+    let req = policy.effective();
+    let mut stats = SelectionStats::default();
+
+    let x_tau = instance.module_of(target);
+    let n_modules = instance.modules().len();
+    let mut selected = vec![false; n_modules];
+    selected[x_tau.0] = true;
+
+    match init {
+        InitStrategy::AllSelected => {
+            selected.iter_mut().for_each(|s| *s = true);
+        }
+        InitStrategy::CoverageGreedy => {
+            let mut covered: BTreeSet<HtId> = module_hts(instance, x_tau);
+            while covered.len() < req.l {
+                stats.iterations += 1;
+                let mut best: Option<(f64, ModuleId)> = None;
+                for m in instance.modules() {
+                    if selected[m.id.0] {
+                        continue;
+                    }
+                    let hts = module_hts(instance, m.id);
+                    let new_hts = hts.difference(&covered).count();
+                    if new_hts == 0 {
+                        continue;
+                    }
+                    let need = req.l - covered.len();
+                    let gamma = m.len() as f64 / need.min(new_hts) as f64;
+                    stats.candidates_examined += 1;
+                    let better = match best {
+                        None => true,
+                        Some((b, bid)) => {
+                            gamma < b || (gamma == b && m.len() < instance.module(bid).len())
+                        }
+                    };
+                    if better {
+                        best = Some((gamma, m.id));
+                    }
+                }
+                let Some((_, id)) = best else {
+                    return Err(SelectError::Infeasible);
+                };
+                selected[id.0] = true;
+                covered.extend(module_hts(instance, id));
+            }
+        }
+    }
+
+    let index_order: Vec<ModuleId> = instance.modules().iter().map(|m| m.id).collect();
+    let mut size_order = index_order.clone();
+    size_order.sort_by_key(|&id| (instance.module(id).len(), id));
+
+    let mut best: Option<Vec<bool>> = None;
+    for order in [&index_order, &size_order] {
+        let mut profile = selected.clone();
+        if !best_response_reference(instance, order, x_tau, req, &mut profile, &mut stats) {
+            continue;
+        }
+        let size: usize = (0..n_modules)
+            .filter(|&i| profile[i])
+            .map(|i| instance.module(ModuleId(i)).len())
+            .sum();
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let b_size: usize = (0..n_modules)
+                    .filter(|&i| b[i])
+                    .map(|i| instance.module(ModuleId(i)).len())
+                    .sum();
+                size < b_size
+            }
+        };
+        if better {
+            best = Some(profile);
+        }
+    }
+    let Some(selected) = best else {
+        return Err(SelectError::Infeasible);
+    };
+
+    let modules: Vec<ModuleId> = (0..n_modules)
+        .filter(|&i| selected[i])
+        .map(ModuleId)
+        .collect();
+    stats.diversity_checks += 1;
+    if !req.satisfied_by(&instance.histogram_of(&modules)) {
+        return Err(SelectError::Infeasible);
+    }
+    Ok(Selection {
+        ring: instance.ring_of(&modules),
+        modules,
+        algorithm: Algorithm::GameTheoretic,
+        stats,
+    })
+}
+
+/// Reference best-response: full histogram rebuild per cost evaluation.
+fn best_response_reference(
+    instance: &ModularInstance,
+    order: &[ModuleId],
+    x_tau: ModuleId,
+    req: DiversityRequirement,
     selected: &mut [bool],
     stats: &mut SelectionStats,
 ) -> bool {
@@ -301,6 +559,29 @@ mod tests {
             game_theoretic(&inst, TokenId(999), policy).unwrap_err(),
             SelectError::UnknownToken
         );
+    }
+
+    #[test]
+    fn incremental_engine_matches_reference_on_example3() {
+        let inst = example3();
+        for l in 1..=5 {
+            let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, l));
+            for target in [TokenId(0), TokenId(6), TokenId(10)] {
+                for init in [InitStrategy::CoverageGreedy, InitStrategy::AllSelected] {
+                    let reference = game_theoretic_reference(&inst, target, policy, init);
+                    let optimized = game_theoretic_from(&inst, target, policy, init);
+                    assert_eq!(reference, optimized, "l={l} target={target:?} init={init:?}");
+                    // A shared profile cache must not change results either.
+                    let cache = ProfileCache::with_capacity(1024);
+                    let cached =
+                        game_theoretic_with(&inst, target, policy, init, Some(&cache));
+                    let cached_again =
+                        game_theoretic_with(&inst, target, policy, init, Some(&cache));
+                    assert_eq!(reference, cached, "cached l={l} target={target:?}");
+                    assert_eq!(reference, cached_again, "warm l={l} target={target:?}");
+                }
+            }
+        }
     }
 
     #[test]

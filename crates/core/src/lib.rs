@@ -48,6 +48,7 @@
 
 pub mod baselines;
 pub mod bfs;
+pub mod cache;
 pub mod config;
 pub mod degrade;
 pub mod game;
@@ -62,7 +63,8 @@ pub mod selection;
 pub mod tokenmagic;
 
 pub use baselines::{random, smallest};
-pub use bfs::{bfs, BfsBudget};
+pub use bfs::{bfs, bfs_batch, bfs_reference, bfs_with, BfsBudget, BfsOptions};
+pub use cache::{CachedOutcome, EvalCache, ProfileCache, DEFAULT_CACHE_CAPACITY};
 pub use config::{
     dtrs_diverse_fast, dtrs_token_sets_fast, psi, satisfies_first_configuration, SelectionPolicy,
 };
@@ -70,7 +72,10 @@ pub use degrade::{
     select_with_fallback, select_with_ladder, select_with_ladder_observed, DegradeBudget,
     DegradedSelection, Guarantee, Tier,
 };
-pub use game::{game_theoretic, game_theoretic_from, InitStrategy};
+pub use game::{
+    game_theoretic, game_theoretic_from, game_theoretic_reference, game_theoretic_with,
+    InitStrategy,
+};
 pub use history::ModularHistory;
 pub use instance::{DecomposeError, Instance, ModularInstance, Module, ModuleId, ModuleKind};
 pub use obs::CoreMetrics;

@@ -15,6 +15,9 @@
 //!   exact search expanded / rejected before world enumeration;
 //! * `core.dtrs.evaluations_total` — diversity-histogram evaluations
 //!   (the DTRS checks dominating every algorithm's inner loop);
+//! * `core.cache.hits_total` / `core.cache.misses_total` /
+//!   `core.cache.evictions_total` — evaluation-cache accounting (see
+//!   [`crate::cache`]);
 //! * `core.select.<alg>.rings_total`, `core.select.<alg>.ring_size`,
 //!   `core.select.<alg>.time_ns` — per-algorithm selection outcomes;
 //! * `core.degrade.answered.<tier>_total`, `core.degrade.fallbacks_total`,
@@ -83,6 +86,12 @@ pub struct CoreMetrics {
     pub bfs_pruned: Counter,
     /// Diversity-histogram (DTRS) evaluations across all algorithms.
     pub dtrs_evaluations: Counter,
+    /// Evaluation-cache lookups that found a stored outcome.
+    pub cache_hits: Counter,
+    /// Evaluation-cache lookups that missed (outcome computed fresh).
+    pub cache_misses: Counter,
+    /// Entries dropped from a full evaluation cache (FIFO order).
+    pub cache_evictions: Counter,
     /// Successful selections per algorithm (`ALGOS` order).
     pub select_total: [Counter; 5],
     /// Ring-size distribution per algorithm.
@@ -106,6 +115,9 @@ impl CoreMetrics {
             bfs_candidates: registry.counter("core.bfs.candidates_total"),
             bfs_pruned: registry.counter("core.bfs.pruned_total"),
             dtrs_evaluations: registry.counter("core.dtrs.evaluations_total"),
+            cache_hits: registry.counter("core.cache.hits_total"),
+            cache_misses: registry.counter("core.cache.misses_total"),
+            cache_evictions: registry.counter("core.cache.evictions_total"),
             select_total: ALGOS.map(|a| {
                 registry.counter(&format!("core.select.{}.rings_total", algo_segment(a)))
             }),

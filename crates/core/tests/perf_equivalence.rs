@@ -1,0 +1,290 @@
+//! Equivalence sweep for the PR-3 performance work.
+//!
+//! The optimized selection engines (incremental histograms, evaluation
+//! caches, parallel frontier) must return the *same* `Result<Selection,
+//! SelectError>` — ring, stats, and error alike — as the seed reference
+//! implementations on every instance. This file sweeps 64 seeded random
+//! instances through every engine configuration and also pins the cache
+//! accounting exported through `dams-obs`.
+
+use dams_core::{
+    bfs, bfs_batch, bfs_reference, bfs_with, game_theoretic_from, game_theoretic_reference,
+    game_theoretic_with, BfsBudget, BfsOptions, EvalCache, InitStrategy, Instance, ModularInstance,
+    Module, ModuleId, ModuleKind, ProfileCache, SelectionPolicy,
+};
+use dams_diversity::{DiversityRequirement, HtId, RingIndex, RingSet, RsId, TokenId, TokenUniverse};
+use dams_obs::Registry;
+
+/// Deterministic xorshift64* — no RNG dependency, stable across platforms.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A small random instance: ≤ 10 tokens over 2–4 HTs, up to 4 committed
+/// rings of ≤ 3 tokens with modest claims — sized so the exact reference
+/// BFS finishes instantly while still exercising related sets, world
+/// enumeration, and DTRS checks.
+fn random_instance(rng: &mut XorShift) -> (Instance, DiversityRequirement, TokenId) {
+    let n_tokens = 4 + rng.below(7) as usize; // 4..=10
+    let n_hts = 2 + rng.below(3) as usize; // 2..=4
+    let hts: Vec<HtId> = (0..n_tokens)
+        .map(|_| HtId(rng.below(n_hts as u64) as u32))
+        .collect();
+    let universe = TokenUniverse::new(hts);
+
+    let mut rings = RingIndex::new();
+    let mut claims = Vec::new();
+    let n_rings = rng.below(4) as usize;
+    for _ in 0..n_rings {
+        let len = 1 + rng.below(3) as usize;
+        let mut members: Vec<TokenId> = Vec::new();
+        for _ in 0..len {
+            let t = TokenId(rng.below(n_tokens as u64) as u32);
+            if !members.contains(&t) {
+                members.push(t);
+            }
+        }
+        rings.push(RingSet::new(members));
+        // Mostly trivial claims, occasionally a real one, so some sweeps
+        // exercise the preserved-diversity rejection path.
+        let l = 1 + rng.below(2) as usize;
+        claims.push(DiversityRequirement::new(1.0, l));
+    }
+
+    let c = [0.5, 1.0, 2.0][rng.below(3) as usize];
+    let l = 1 + rng.below(3) as usize;
+    let target = TokenId(rng.below(n_tokens as u64) as u32);
+    (
+        Instance::new(universe, rings, claims),
+        DiversityRequirement::new(c, l),
+        target,
+    )
+}
+
+/// A small random *modular* instance: tokens partitioned into 2–4 modules.
+fn random_modular(rng: &mut XorShift) -> (ModularInstance, TokenId) {
+    let n_tokens = 4 + rng.below(7) as usize;
+    let n_hts = 2 + rng.below(3) as usize;
+    let hts: Vec<HtId> = (0..n_tokens)
+        .map(|_| HtId(rng.below(n_hts as u64) as u32))
+        .collect();
+    let universe = TokenUniverse::new(hts);
+
+    let n_modules = 2 + rng.below(3) as usize;
+    let mut members: Vec<Vec<TokenId>> = vec![Vec::new(); n_modules];
+    for t in 0..n_tokens {
+        members[rng.below(n_modules as u64) as usize].push(TokenId(t as u32));
+    }
+    let modules: Vec<Module> = members
+        .into_iter()
+        .filter(|m| !m.is_empty())
+        .enumerate()
+        .map(|(i, tokens)| Module {
+            id: ModuleId(i),
+            kind: if tokens.len() == 1 {
+                ModuleKind::FreshToken
+            } else {
+                ModuleKind::SuperRs(RsId(i as u32))
+            },
+            tokens: RingSet::new(tokens),
+        })
+        .collect();
+    let target = TokenId(rng.below(n_tokens as u64) as u32);
+    (ModularInstance::from_modules(universe, modules), target)
+}
+
+#[test]
+fn bfs_engines_agree_across_64_seeds() {
+    let budget = BfsBudget::default();
+    for seed in 0..64u64 {
+        let mut rng = XorShift::new(seed);
+        let (instance, req, target) = random_instance(&mut rng);
+
+        let reference = bfs_reference(&instance, target, req, budget);
+        let optimized = bfs(&instance, target, req, budget);
+        assert_eq!(reference, optimized, "seed {seed}: sequential optimized");
+
+        for workers in [2usize, 3] {
+            let options = BfsOptions { budget, workers };
+            let parallel = bfs_with(&instance, target, req, &options, None);
+            assert_eq!(reference, parallel, "seed {seed}: workers={workers}");
+        }
+
+        let cache = EvalCache::new();
+        let options = BfsOptions { budget, workers: 1 };
+        let cold = bfs_with(&instance, target, req, &options, Some(&cache));
+        let warm = bfs_with(&instance, target, req, &options, Some(&cache));
+        assert_eq!(reference, cold, "seed {seed}: cached cold");
+        assert_eq!(reference, warm, "seed {seed}: cached warm");
+
+        // Parallel + warm cache together, the full production configuration.
+        let options = BfsOptions { budget, workers: 2 };
+        let both = bfs_with(&instance, target, req, &options, Some(&cache));
+        assert_eq!(reference, both, "seed {seed}: parallel cached");
+    }
+}
+
+#[test]
+fn game_engines_agree_across_64_seeds() {
+    for seed in 0..64u64 {
+        let mut rng = XorShift::new(seed ^ 0xA5A5_A5A5);
+        let (instance, target) = random_modular(&mut rng);
+        let c = [0.5, 1.0, 2.0][rng.below(3) as usize];
+        let l = 1 + rng.below(3) as usize;
+        let policy = SelectionPolicy::new(DiversityRequirement::new(c, l));
+
+        for init in [InitStrategy::CoverageGreedy, InitStrategy::AllSelected] {
+            let reference = game_theoretic_reference(&instance, target, policy, init);
+            let optimized = game_theoretic_from(&instance, target, policy, init);
+            assert_eq!(reference, optimized, "seed {seed} {init:?}: incremental");
+
+            let cache = ProfileCache::new();
+            let cold = game_theoretic_with(&instance, target, policy, init, Some(&cache));
+            let warm = game_theoretic_with(&instance, target, policy, init, Some(&cache));
+            assert_eq!(reference, cold, "seed {seed} {init:?}: cached cold");
+            assert_eq!(reference, warm, "seed {seed} {init:?}: cached warm");
+        }
+    }
+}
+
+#[test]
+fn bfs_cache_accounting_is_exact() {
+    // On a cold sequential run every expensive-check lookup misses and the
+    // outcome is stored; an identical warm run hits on every lookup. The
+    // exported counters must account for every evaluation:
+    // hits + misses == total lookups, and misses == stored outcomes.
+    let mut rng = XorShift::new(7);
+    let (instance, req, target) = random_instance(&mut rng);
+    let budget = BfsBudget::default();
+    let options = BfsOptions { budget, workers: 1 };
+
+    let registry = Registry::new();
+    let cache = EvalCache::in_registry(1 << 16, &registry);
+
+    let cold = bfs_with(&instance, target, req, &options, Some(&cache));
+    let snap = registry.snapshot();
+    let cold_hits = snap.counter("core.cache.hits_total").unwrap();
+    let cold_misses = snap.counter("core.cache.misses_total").unwrap();
+    assert_eq!(cold_hits, 0, "distinct candidates cannot hit a cold cache");
+    assert_eq!(
+        cold_misses,
+        cache.len() as u64,
+        "every miss stores exactly one outcome (no errors, no evictions)"
+    );
+    assert_eq!(snap.counter("core.cache.evictions_total"), Some(0));
+
+    let warm = bfs_with(&instance, target, req, &options, Some(&cache));
+    assert_eq!(cold, warm);
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("core.cache.hits_total").unwrap(),
+        cold_misses,
+        "the warm run replays exactly the cold run's lookups as hits"
+    );
+    assert_eq!(
+        snap.counter("core.cache.misses_total").unwrap(),
+        cold_misses,
+        "the warm run adds no misses"
+    );
+}
+
+#[test]
+fn bfs_batch_shares_cache_across_targets() {
+    // A TokenMagic-style batch over one frozen instance: a candidate ring
+    // whose content recurs for a later target reuses the stored outcome,
+    // and every target's result equals its standalone reference run. Not
+    // every instance produces recurring rings (the key is the full ring
+    // content, target included), so sweep a few seeds and require reuse in
+    // aggregate.
+    let budget = BfsBudget::default();
+    let options = BfsOptions { budget, workers: 1 };
+    let mut total_hits = 0u64;
+    for seed in 0..8u64 {
+        let mut rng = XorShift::new(seed.wrapping_mul(101) + 11);
+        let (instance, req, _) = random_instance(&mut rng);
+        let n = instance.universe.len() as u32;
+        let targets: Vec<TokenId> = (0..n.min(4)).map(TokenId).collect();
+
+        let registry = Registry::new();
+        let cache = EvalCache::in_registry(1 << 16, &registry);
+        let batch = bfs_batch(&instance, &targets, req, &options, Some(&cache));
+        for (i, (&t, got)) in targets.iter().zip(&batch).enumerate() {
+            let reference = bfs_reference(&instance, t, req, budget);
+            assert_eq!(&reference, got, "seed {seed} target {i}");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("core.cache.misses_total").unwrap(),
+            cache.len() as u64,
+            "seed {seed}: each distinct candidate ring is computed exactly once"
+        );
+        total_hits += snap.counter("core.cache.hits_total").unwrap();
+    }
+    assert!(
+        total_hits > 0,
+        "across the sweep, some candidate outcomes must be reused (hits={total_hits})"
+    );
+}
+
+#[test]
+fn game_cache_accounting_is_exact() {
+    let mut rng = XorShift::new(13);
+    let (instance, target) = random_modular(&mut rng);
+    let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 2));
+
+    let registry = Registry::new();
+    let cache = ProfileCache::in_registry(1 << 16, &registry);
+
+    let cold = game_theoretic_with(
+        &instance,
+        target,
+        policy,
+        InitStrategy::CoverageGreedy,
+        Some(&cache),
+    );
+    let snap = registry.snapshot();
+    let cold_hits = snap.counter("core.cache.hits_total").unwrap();
+    let cold_misses = snap.counter("core.cache.misses_total").unwrap();
+    assert_eq!(
+        cold_misses,
+        cache.len() as u64,
+        "every profile miss stores exactly one evaluation"
+    );
+
+    let warm = game_theoretic_with(
+        &instance,
+        target,
+        policy,
+        InitStrategy::CoverageGreedy,
+        Some(&cache),
+    );
+    assert_eq!(cold, warm);
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("core.cache.misses_total").unwrap(),
+        cold_misses,
+        "the warm run adds no misses"
+    );
+    assert_eq!(
+        snap.counter("core.cache.hits_total").unwrap(),
+        2 * cold_hits + cold_misses,
+        "the warm run repeats the cold run's lookups and all of them hit"
+    );
+}

@@ -22,8 +22,9 @@ pub mod prime;
 pub mod range_proof;
 pub mod sha256;
 
-pub use blsag::{linked, sign, verify, RingSignature, SignError};
-pub use group::{Element, Scalar, SchnorrGroup};
+pub use blsag::{linked, sign, verify, verify_batch, BatchItem, BatchVerifier, RingSignature, SignError};
+pub use group::{Element, FixedBaseTable, Scalar, SchnorrGroup};
+pub use prime::FixedBaseWindow;
 pub use hd::KeyChain;
 pub use keys::{KeyImage, KeyPair, PublicKey, SecretKey};
 pub use mlsag::{sign_mlsag, verify_mlsag, MlsagError, MlsagSignature};

@@ -12,11 +12,97 @@
 //! small instances only.
 
 use crate::related::RingIndex;
-use crate::types::{RsId, TokenId};
+use crate::types::{RingSet, RsId, TokenId};
 
 /// One combination: `assigned[i]` is the token consumed by the i-th ring of
 /// the input slice (same order as passed to [`enumerate_combinations`]).
 pub type Combination = Vec<TokenId>;
+
+/// The wall-clock deadline of [`WorldOptions`] expired mid-enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldsExpired;
+
+/// Options for [`enumerate_worlds`].
+#[derive(Default)]
+pub struct WorldOptions<'a> {
+    /// Stop after this many combinations (0 is treated as unlimited by
+    /// callers passing `usize::MAX`; the enumeration itself just compares).
+    pub limit: usize,
+    /// A candidate ring that is *not* in the index, addressed by a phantom
+    /// id (callers use `RsId(index.len())`, matching what a push would have
+    /// assigned). This lets the exact BFS evaluate a prospective ring
+    /// without cloning the entire [`RingIndex`] per candidate.
+    pub extra: Option<(RsId, &'a RingSet)>,
+    /// Wall-clock deadline, checked periodically *inside* the recursion so
+    /// one candidate with a huge possible-world set cannot blow far past
+    /// the budget (see `BfsBudget.deadline`).
+    pub deadline: Option<std::time::Instant>,
+}
+
+/// How many recursion steps pass between deadline checks. Checking
+/// `Instant::now()` per step would dominate the enumeration itself; every
+/// 1024 steps bounds the overshoot to microseconds.
+const DEADLINE_STRIDE: u32 = 1024;
+
+struct WorldEnum<'a> {
+    index: &'a RingIndex,
+    rings: &'a [RsId],
+    extra: Option<(RsId, &'a RingSet)>,
+    limit: usize,
+    deadline: Option<std::time::Instant>,
+    ticks: u32,
+    expired: bool,
+    out: Vec<Combination>,
+    chosen: Vec<TokenId>,
+    used: std::collections::HashSet<TokenId>,
+}
+
+impl<'a> WorldEnum<'a> {
+    fn ring_at(&self, id: RsId) -> &'a RingSet {
+        match self.extra {
+            Some((eid, r)) if eid == id => r,
+            _ => self.index.ring(id),
+        }
+    }
+
+    fn recurse(&mut self, order: &[usize], depth: usize) {
+        if self.out.len() >= self.limit || self.expired {
+            return;
+        }
+        self.ticks = self.ticks.wrapping_add(1);
+        // Check at tick 1 (so an already-expired deadline aborts before any
+        // work) and every DEADLINE_STRIDE ticks thereafter.
+        if self.ticks % DEADLINE_STRIDE == 1 {
+            if let Some(d) = self.deadline {
+                if std::time::Instant::now() >= d {
+                    self.expired = true;
+                    return;
+                }
+            }
+        }
+        if depth == order.len() {
+            // Permute back to the caller's ring order.
+            let mut combo = vec![TokenId(u32::MAX); self.rings.len()];
+            for (d, &slot) in order.iter().enumerate() {
+                combo[slot] = self.chosen[d];
+            }
+            self.out.push(combo);
+            return;
+        }
+        let ring = self.ring_at(self.rings[order[depth]]);
+        for &t in ring.tokens() {
+            if self.used.insert(t) {
+                self.chosen.push(t);
+                self.recurse(order, depth + 1);
+                self.chosen.pop();
+                self.used.remove(&t);
+                if self.out.len() >= self.limit || self.expired {
+                    return;
+                }
+            }
+        }
+    }
+}
 
 /// Enumerate all token–RS combinations of the given rings.
 ///
@@ -38,59 +124,57 @@ pub fn enumerate_with_limit(
     rings: &[RsId],
     limit: usize,
 ) -> Vec<Combination> {
+    enumerate_worlds(
+        index,
+        rings,
+        &WorldOptions {
+            limit,
+            extra: None,
+            deadline: None,
+        },
+    )
+    .expect("no deadline configured, enumeration cannot expire")
+}
+
+/// The general possible-world enumerator: [`enumerate_with_limit`] plus an
+/// optional out-of-index candidate ring and an optional wall-clock deadline.
+///
+/// The recursion — and therefore the *order* of the produced combinations —
+/// is identical to [`enumerate_with_limit`] over an index with the extra
+/// ring pushed: the size ordering is a stable sort over the same lengths and
+/// each slot iterates its (sorted) ring tokens the same way. The exact BFS
+/// relies on this to stay byte-identical to the clone-based reference path.
+pub fn enumerate_worlds(
+    index: &RingIndex,
+    rings: &[RsId],
+    opts: &WorldOptions<'_>,
+) -> Result<Vec<Combination>, WorldsExpired> {
     if rings.is_empty() {
         // The empty combination assigns nothing and is vacuously valid.
-        return vec![Vec::new()];
+        return Ok(vec![Vec::new()]);
     }
+    let mut en = WorldEnum {
+        index,
+        rings,
+        extra: opts.extra,
+        limit: opts.limit,
+        deadline: opts.deadline,
+        ticks: 0,
+        expired: false,
+        out: Vec::new(),
+        chosen: Vec::with_capacity(rings.len()),
+        used: std::collections::HashSet::new(),
+    };
     // Order rings by ascending size: fail fast on the most constrained.
     let mut order: Vec<usize> = (0..rings.len()).collect();
-    order.sort_by_key(|&i| index.ring(rings[i]).len());
+    order.sort_by_key(|&i| en.ring_at(rings[i]).len());
 
-    let mut out: Vec<Combination> = Vec::new();
-    let mut chosen: Vec<TokenId> = Vec::with_capacity(rings.len());
-    let mut used: std::collections::HashSet<TokenId> = std::collections::HashSet::new();
-
-    #[allow(clippy::too_many_arguments)]
-    fn recurse(
-        index: &RingIndex,
-        rings: &[RsId],
-        order: &[usize],
-        depth: usize,
-        chosen: &mut Vec<TokenId>,
-        used: &mut std::collections::HashSet<TokenId>,
-        out: &mut Vec<Combination>,
-        limit: usize,
-    ) {
-        if out.len() >= limit {
-            return;
-        }
-        if depth == order.len() {
-            // Permute back to the caller's ring order.
-            let mut combo = vec![TokenId(u32::MAX); rings.len()];
-            for (d, &slot) in order.iter().enumerate() {
-                combo[slot] = chosen[d];
-            }
-            out.push(combo);
-            return;
-        }
-        let ring = index.ring(rings[order[depth]]);
-        for &t in ring.tokens() {
-            if used.insert(t) {
-                chosen.push(t);
-                recurse(index, rings, order, depth + 1, chosen, used, out, limit);
-                chosen.pop();
-                used.remove(&t);
-                if out.len() >= limit {
-                    return;
-                }
-            }
-        }
+    en.recurse(&order, 0);
+    if en.expired {
+        Err(WorldsExpired)
+    } else {
+        Ok(en.out)
     }
-
-    recurse(
-        index, rings, &order, 0, &mut chosen, &mut used, &mut out, limit,
-    );
-    out
 }
 
 /// Count combinations without materialising them (same recursion).
@@ -216,6 +300,52 @@ mod tests {
         let idx = RingIndex::from_rings([ring(&[1, 2, 3, 4, 5]), ring(&[1, 2, 3, 4, 5])]);
         let combos = enumerate_with_limit(&idx, &[RsId(0), RsId(1)], 3);
         assert_eq!(combos.len(), 3);
+    }
+
+    #[test]
+    fn extra_ring_matches_pushed_index_enumeration() {
+        // Enumerating with an out-of-index extra ring must produce the same
+        // combinations, in the same order, as cloning the index and pushing
+        // the ring (the exact-BFS equivalence relies on this).
+        let idx = RingIndex::from_rings([ring(&[1, 2, 3]), ring(&[2, 4]), ring(&[1, 5])]);
+        let candidate = ring(&[3, 4, 5, 6]);
+
+        let mut pushed = idx.clone();
+        let extra_id = pushed.push(candidate.clone());
+        let mut ids: Vec<RsId> = idx.ids().collect();
+        ids.push(extra_id);
+
+        let reference = enumerate_combinations(&pushed, &ids);
+        let overlay = enumerate_worlds(
+            &idx,
+            &ids,
+            &WorldOptions {
+                limit: usize::MAX,
+                extra: Some((extra_id, &candidate)),
+                deadline: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(reference, overlay);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_enumeration() {
+        // Two large identical rings → 90 worlds; a deadline already in the
+        // past must abort with WorldsExpired instead of enumerating them.
+        let big: Vec<u32> = (1..=10).collect();
+        let idx = RingIndex::from_rings([ring(&big), ring(&big)]);
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let res = enumerate_worlds(
+            &idx,
+            &[RsId(0), RsId(1)],
+            &WorldOptions {
+                limit: usize::MAX,
+                extra: None,
+                deadline: Some(past),
+            },
+        );
+        assert_eq!(res, Err(WorldsExpired));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! exact BFS algorithm and by tests that validate the polynomial path of
 //! Theorem 6.1.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 
 use crate::combination::Combination;
 
@@ -110,26 +110,26 @@ pub fn enumerate_dtrs(
 
     // Candidate pair sets must be simultaneously satisfiable, i.e. subsets
     // of some combination (restricted to non-target slots) — Algorithm 3
-    // enumerates them per combination; we dedupe across combinations.
-    let mut seen: BTreeSet<Vec<TokenRsPair>> = BTreeSet::new();
+    // enumerates them per combination; we dedupe across combinations with a
+    // hashed canonical-key set. Sorting each *pool* once makes every emitted
+    // subset canonical already, so keys are built sorted and inserted by
+    // move — no per-subset sort, no clone.
+    let mut seen: HashSet<Vec<TokenRsPair>> = HashSet::new();
     for size in 1..n {
         let mut this_size: Vec<BTreeSet<TokenRsPair>> = Vec::new();
         for c in combos {
-            let pool: Vec<TokenRsPair> = (0..n)
+            let mut pool: Vec<TokenRsPair> = (0..n)
                 .filter(|&i| i != target_slot)
                 .map(|i| TokenRsPair::new(c[i], rings[i]))
                 .collect();
-            // all `size`-subsets of pool
+            pool.sort_unstable();
+            // all `size`-subsets of pool (already in canonical order)
             subsets(&pool, size, &mut |subset| {
-                let key: Vec<TokenRsPair> = {
-                    let mut v = subset.to_vec();
-                    v.sort_unstable();
-                    v
-                };
-                if !seen.insert(key.clone()) {
+                if seen.contains(subset) {
                     return;
                 }
-                let set: BTreeSet<TokenRsPair> = key.iter().copied().collect();
+                let set: BTreeSet<TokenRsPair> = subset.iter().copied().collect();
+                seen.insert(subset.to_vec());
                 // Minimality: skip supersets of already-found DTRSs.
                 if found_sets.iter().any(|f| f.is_subset(&set)) {
                     return;

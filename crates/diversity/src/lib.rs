@@ -30,9 +30,12 @@ pub mod types;
 
 pub use chain_reaction::{analyze, analyze_exact, Analysis};
 pub use closeness::{emd_over_ids, is_t_close, total_variation};
-pub use combination::{enumerate_combinations, Combination};
+pub use combination::{
+    enumerate_combinations, enumerate_with_limit, enumerate_worlds, Combination, WorldOptions,
+    WorldsExpired,
+};
 pub use dtrs::{enumerate_dtrs, Dtrs};
-pub use histogram::HtHistogram;
+pub use histogram::{DeltaHistogram, HtHistogram};
 pub use metrics::{batch_anonymity, ring_anonymity, BatchAnonymity, RingAnonymity};
 pub use neighbor::{EtaGuard, NeighborTracker};
 pub use recursive::DiversityRequirement;

@@ -47,10 +47,20 @@ impl DiversityRequirement {
 
     /// Evaluate the condition on a histogram.
     pub fn satisfied_by(&self, hist: &HtHistogram) -> bool {
+        self.satisfied_by_parts(hist.q1(), hist.tail_sum(self.l))
+    }
+
+    /// Evaluate the condition from its raw ingredients (`q_1` and the
+    /// diversity tail sum). This is the single source of truth for the
+    /// float comparison: the incremental evaluators
+    /// ([`crate::histogram::DeltaHistogram`]) route through it so their
+    /// verdicts are bit-identical to the [`HtHistogram`] path.
+    #[inline]
+    pub fn satisfied_by_parts(&self, q1: usize, tail: usize) -> bool {
         // Strict inequality per the definition. An empty set (q1 = 0) is
         // only satisfied when the tail sum is positive — i.e. never — which
         // matches the intuition that an empty ring carries no anonymity.
-        (hist.q1() as f64) < self.c * hist.tail_sum(self.l) as f64
+        (q1 as f64) < self.c * tail as f64
     }
 
     /// Evaluate on a ring's token set directly.
@@ -61,7 +71,13 @@ impl DiversityRequirement {
     /// The slack `δ = q_1 - c * (q_ℓ + ... + q_θ)` used by the Progressive
     /// algorithm's second phase (negative means satisfied).
     pub fn slack(&self, hist: &HtHistogram) -> f64 {
-        hist.q1() as f64 - self.c * hist.tail_sum(self.l) as f64
+        self.slack_parts(hist.q1(), hist.tail_sum(self.l))
+    }
+
+    /// Slack from raw ingredients; see [`Self::satisfied_by_parts`].
+    #[inline]
+    pub fn slack_parts(&self, q1: usize, tail: usize) -> f64 {
+        q1 as f64 - self.c * tail as f64
     }
 }
 

@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
-# Produce BENCH_baseline.json: a full-mode metrics snapshot of one
+# Produce BENCH_baseline.json (a full-mode metrics snapshot of one
 # representative run across every selection algorithm, the degrade
-# ladder, and the faulted node simulation.
+# ladder, and the faulted node simulation) plus BENCH_selection.json
+# (the selection perf figure: optimized engines vs. seed references).
 #
-#   scripts/bench_snapshot.sh [OUT] [SEED]
+#   scripts/bench_snapshot.sh [OUT] [SEED] [SELECTION_OUT]
 #
-# OUT defaults to BENCH_baseline.json at the repo root; SEED to 42.
+# OUT defaults to BENCH_baseline.json at the repo root; SEED to 42;
+# SELECTION_OUT to BENCH_selection.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_baseline.json}"
 SEED="${2:-42}"
+SELECTION_OUT="${3:-BENCH_selection.json}"
 
 cargo build --release -q -p dams-bench --bin dams-cli
-./target/release/dams-cli bench --out "$OUT" --seed "$SEED"
+./target/release/dams-cli bench --out "$OUT" --seed "$SEED" \
+    --selection-out "$SELECTION_OUT"
 
 # Well-formedness gate: the snapshot must parse as JSON and cover the
 # BFS, Progressive, Game-theoretic, and degrade-tier metric families.
@@ -26,6 +30,8 @@ with open(path) as f:
 
 required = [
     "core.bfs.candidates_total",
+    "core.cache.hits_total",
+    "core.cache.misses_total",
     "core.select.tm_p.rings_total",
     "core.select.tm_g.rings_total",
     "core.degrade.answered.exact_bfs_total",
@@ -39,4 +45,23 @@ missing = [name for name in required if name not in doc]
 if missing:
     sys.exit(f"{path} is missing required metrics: {missing}")
 print(f"{path}: {len(doc)} metrics, all required families present")
+EOF
+
+# Selection-figure gate: the optimized engines must beat the seed
+# references by at least 2x on both rows.
+python3 - "$SELECTION_OUT" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+for row in ("exact_bfs", "tm_g"):
+    if row not in doc:
+        sys.exit(f"{path} is missing row {row!r}")
+    speedup = doc[row]["speedup"]
+    if speedup < 2.0:
+        sys.exit(f"{path}: {row} speedup {speedup:.2f}x is below the 2x floor")
+    print(f"{path}: {row} {speedup:.2f}x (baseline {doc[row]['baseline_ns']} ns, "
+          f"optimized {doc[row]['optimized_ns']} ns)")
 EOF
