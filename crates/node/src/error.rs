@@ -7,6 +7,7 @@
 //! never its process.
 
 use dams_blockchain::{ChainError, CodecError, VerifyError};
+use dams_store::StoreError;
 
 /// Why a node-layer operation failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +26,9 @@ pub enum NodeError {
     SnapshotGenesisMismatch,
     /// A snapshot block failed verified replay at the given position.
     SnapshotBlockInvalid { index: usize, cause: ChainError },
+    /// The durable store failed — the inner error carries the byte
+    /// offset / crc context a recovery report needs.
+    Store(StoreError),
 }
 
 impl std::fmt::Display for NodeError {
@@ -42,6 +46,7 @@ impl std::fmt::Display for NodeError {
             NodeError::SnapshotBlockInvalid { index, cause } => {
                 write!(f, "snapshot block {index} failed verified replay: {cause}")
             }
+            NodeError::Store(e) => write!(f, "durable store failed: {e}"),
         }
     }
 }
@@ -66,6 +71,12 @@ impl From<CodecError> for NodeError {
     }
 }
 
+impl From<StoreError> for NodeError {
+    fn from(e: StoreError) -> Self {
+        NodeError::Store(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +94,12 @@ mod tests {
                 index: 3,
                 cause: ChainError::NotExtendingTip,
             },
+            StoreError::CorruptRecord {
+                offset: 16,
+                expected_crc: 1,
+                got_crc: 2,
+            }
+            .into(),
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

@@ -23,6 +23,7 @@ use rand::{Rng, SeedableRng};
 use dams_blockchain::{block_to_bytes, decode_block, Amount, BatchList, Block, TokenOutput};
 use dams_crypto::sha256::Digest;
 use dams_crypto::{KeyPair, SchnorrGroup};
+use dams_store::{MemBackend, RecoveryReport, StorageFault, Store, StoreConfig};
 
 use crate::error::NodeError;
 use crate::network::{BlockAnnouncement, NodeLimits, SimNode};
@@ -173,6 +174,41 @@ impl FaultyBus {
         self.tick
     }
 
+    /// Attach a fresh in-memory durable store to every node that lacks
+    /// one. Storage never draws from the bus's seeded PRNG, so a durable
+    /// run replays byte-identically to a volatile one.
+    pub fn make_durable(&mut self) -> Result<(), NodeError> {
+        for node in &mut self.nodes {
+            if node.has_store() {
+                continue;
+            }
+            let recovered = Store::open(
+                Box::new(MemBackend::new()),
+                Box::new(MemBackend::new()),
+                self.group,
+                StoreConfig::default(),
+            )?;
+            node.attach_store(recovered)?;
+        }
+        Ok(())
+    }
+
+    /// Inject a storage fault into node `id`'s durable WAL bytes — the
+    /// disk half of the fault model. Takes effect at the next
+    /// [`FaultyBus::crash_and_restore`] of that node.
+    pub fn inject_storage_fault(
+        &mut self,
+        id: usize,
+        fault: &StorageFault,
+    ) -> Result<(), NodeError> {
+        let node = self.nodes.get_mut(id).ok_or(NodeError::UnknownPeer(id))?;
+        let store = node
+            .store_mut()
+            .ok_or(NodeError::Store(dams_store::StoreError::FaultUnsupported))?;
+        store.inject_wal_fault(fault)?;
+        Ok(())
+    }
+
     /// Split the network: nodes listed in `isolated` form one component,
     /// everyone else the other. Unknown ids yield a typed error.
     pub fn partition(&mut self, isolated: &[usize]) -> Result<(), NodeError> {
@@ -271,26 +307,53 @@ impl FaultyBus {
                 amount: Amount(1),
             })
             .collect();
-        let chain = self.nodes[origin].chain_mut();
-        chain.submit_coinbase(outs);
-        chain.seal_block()?;
-        let block = chain.tip()?.clone();
+        let node = &mut self.nodes[origin];
+        node.chain_mut().submit_coinbase(outs);
+        // Durable seal when a store is attached: the sealed block is
+        // WAL-appended + fsynced before it leaves the miner.
+        let block = node.seal_block()?;
         self.gossip(origin, &block)?;
         Ok(block)
     }
 
     /// Crash `id` mid-run: volatile state (inbox, orphans) is lost, and
-    /// the replica is rebuilt from its own chain snapshot by verified
-    /// replay — the recovery path a real node would take from disk.
+    /// the replica is rebuilt. With a durable store attached, recovery is
+    /// the real path a node takes from disk — power-loss the store, then
+    /// replay `checkpoint + WAL tail` with full re-verification. Without
+    /// one, the legacy chain-snapshot replay is used.
     pub fn crash_and_restore(&mut self, id: usize) -> Result<(), NodeError> {
-        let node = self.nodes.get(id).ok_or(NodeError::UnknownPeer(id))?;
+        self.crash_and_restore_reported(id).map(|_| ())
+    }
+
+    /// [`FaultyBus::crash_and_restore`], also returning the recovery
+    /// report when the node recovered through its durable store.
+    pub fn crash_and_restore_reported(
+        &mut self,
+        id: usize,
+    ) -> Result<Option<RecoveryReport>, NodeError> {
+        let node = self.nodes.get_mut(id).ok_or(NodeError::UnknownPeer(id))?;
         let limits = *node.limits();
-        let snapshot = node.snapshot();
         // Any in-flight traffic addressed to the crashed node dies with it.
+        if let Some(mut store) = node.take_store() {
+            self.in_flight.retain(|m| m.dest != id);
+            store.crash();
+            let (wal, cp) = store.into_backends();
+            let (revived, report) = SimNode::restore_from_store(
+                id,
+                self.group,
+                limits,
+                wal,
+                cp,
+                StoreConfig::default(),
+            )?;
+            self.nodes[id] = revived;
+            return Ok(Some(report));
+        }
+        let snapshot = node.snapshot();
         self.in_flight.retain(|m| m.dest != id);
         let revived = SimNode::restore(id, self.group, limits, &snapshot)?;
         self.nodes[id] = revived;
-        Ok(())
+        Ok(None)
     }
 
     /// Advance one tick: deliver due messages (shuffled when reordering
@@ -431,15 +494,21 @@ pub struct FaultReport {
 }
 
 /// The scripted end-to-end adversarial scenario, replayable from `seed`:
-/// five replicas mine under the default fault model, suffer a partition
-/// (mining continues on the majority side), heal, lose one node to a
-/// crash (restored from its snapshot by verified replay), keep mining,
-/// and must still converge on one tip and one batch list.
+/// five durably-stored replicas mine under the default fault model,
+/// suffer a partition (mining continues on the majority side), heal,
+/// lose one node to a crash (recovered from its WAL + checkpoint by
+/// verified replay), keep mining, and must still converge on one tip and
+/// one batch list.
 pub fn run_faulted_simulation(seed: u64) -> FaultReport {
     const NODES: usize = 5;
     const LAMBDA: usize = 4;
     let group = SchnorrGroup::default();
     let mut bus = FaultyBus::new(NODES, group, seed, FaultConfig::default());
+    // All replicas run durably: adoption is WAL-append → fsync → apply,
+    // and the phase-3 crash recovers through the store's verified replay.
+    // (Fresh in-memory stores cannot fail to open; if they somehow do,
+    // the run degrades to volatile nodes rather than panicking.)
+    let _ = bus.make_durable();
 
     // Phase 1: healthy-but-faulty mining.
     for _ in 0..4 {

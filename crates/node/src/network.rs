@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 use dams_blockchain::{block_to_bytes, decode_block, BatchList, Block, Chain, NoConfiguration};
 use dams_crypto::sha256::Digest;
 use dams_crypto::SchnorrGroup;
+use dams_store::{Backend, Recovered, RecoveryReport, Store, StoreConfig, StoreError};
 
 use crate::error::NodeError;
 use crate::obs::NodeMetrics;
@@ -90,6 +91,9 @@ pub struct SimNode {
     /// Logical clock: one tick per `process_inbox` call.
     tick: u64,
     stats: NodeStats,
+    /// Optional durable store. When attached, every adoption is atomic
+    /// across crashes: WAL-append → fsync → apply.
+    store: Option<Store>,
 }
 
 impl std::fmt::Debug for SimNode {
@@ -101,6 +105,7 @@ impl std::fmt::Debug for SimNode {
             .field("orphans", &self.orphans.len())
             .field("tick", &self.tick)
             .field("stats", &self.stats)
+            .field("durable", &self.store.is_some())
             .finish()
     }
 }
@@ -119,6 +124,7 @@ impl SimNode {
             limits,
             tick: 0,
             stats: NodeStats::default(),
+            store: None,
         }
     }
 
@@ -141,6 +147,114 @@ impl SimNode {
 
     pub fn tip_hash(&self) -> Result<Digest, NodeError> {
         Ok(self.chain.tip()?.hash())
+    }
+
+    /// Whether a durable store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The attached store (for fault injection and inspection in tests).
+    pub fn store_mut(&mut self) -> Option<&mut Store> {
+        self.store.as_mut()
+    }
+
+    /// Detach and return the store (e.g. to crash it and re-open).
+    pub fn take_store(&mut self) -> Option<Store> {
+        self.store.take()
+    }
+
+    /// Attach a freshly opened store. The recovered chain must be a
+    /// prefix of (or extend) this node's chain: whichever side is longer
+    /// wins, and the shorter side is persisted/adopted to match, so node
+    /// and store agree exactly afterwards.
+    pub fn attach_store(&mut self, recovered: Recovered) -> Result<(), NodeError> {
+        let Recovered {
+            mut store,
+            chain: stored,
+            ..
+        } = recovered;
+        let common = stored.height().min(self.chain.height());
+        if self.chain.blocks()[common - 1].hash() != stored.blocks()[common - 1].hash() {
+            return Err(NodeError::Store(StoreError::CheckpointStateMismatch {
+                height: common as u64 - 1,
+                field: "store chain diverges from node chain",
+            }));
+        }
+        if stored.height() > self.chain.height() {
+            self.chain = stored;
+        } else {
+            for block in &self.chain.blocks()[stored.height()..] {
+                store.append_block(block)?;
+            }
+            store.maybe_checkpoint(&self.chain)?;
+        }
+        self.store = Some(store);
+        Ok(())
+    }
+
+    /// WAL-append + fsync `block` if a store is attached — the durability
+    /// barrier that must precede applying the block to chain state.
+    fn persist_block(&mut self, block: &Block) -> Result<(), NodeError> {
+        if let Some(store) = &mut self.store {
+            store.append_block(block)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint opportunistically after an adoption. A checkpoint
+    /// failure never loses data (the WAL has every block) so it degrades
+    /// the node's recovery speed, not its correctness.
+    fn after_adopt(&mut self) {
+        if let Some(store) = &mut self.store {
+            let _ = store.maybe_checkpoint(&self.chain);
+        }
+    }
+
+    /// Seal the chain's mempool into a block and persist it: the mining
+    /// path's counterpart to the gossip path's WAL-append → apply.
+    /// (Sealing applies first by construction — the block does not exist
+    /// until sealed — so a crash between seal and append costs the miner
+    /// only its own newest block, never a committed prefix.)
+    pub fn seal_block(&mut self) -> Result<Block, NodeError> {
+        self.chain.seal_block()?;
+        let block = self.chain.tip()?.clone();
+        self.persist_block(&block)?;
+        self.after_adopt();
+        Ok(block)
+    }
+
+    /// Rebuild a replica by opening its durable store: replay
+    /// `checkpoint + WAL tail`, truncate torn tails, re-verify every
+    /// recovered RS's claimed diversity. An immutability violation is a
+    /// typed error — a node must not serve state whose evidence no longer
+    /// holds. A flagged-but-recoverable report (corrupt tail truncated)
+    /// yields a working node plus the report for the caller to act on.
+    pub fn restore_from_store(
+        id: usize,
+        group: SchnorrGroup,
+        limits: NodeLimits,
+        wal: Box<dyn Backend>,
+        cp: Box<dyn Backend>,
+        cfg: StoreConfig,
+    ) -> Result<(Self, RecoveryReport), NodeError> {
+        let metrics = NodeMetrics::global();
+        metrics.store_restores.inc();
+        let recovered = Store::open(wal, cp, group, cfg)?;
+        let report = recovered.report.clone();
+        if !report.clean() {
+            metrics.store_restore_flagged.inc();
+        }
+        if let Some(&(height, ring_index)) = report.immutability_violations.first() {
+            return Err(NodeError::Store(StoreError::ImmutabilityViolated {
+                height,
+                ring_index,
+            }));
+        }
+        let mut node = SimNode::with_limits(id, group, limits);
+        node.chain = recovered.chain;
+        node.store = Some(recovered.store);
+        Ok((node, report))
     }
 
     /// Deliver an announcement to this node's inbox. Rejects (typed, not
@@ -239,17 +353,25 @@ impl SimNode {
             };
             let orphan = self.orphans.swap_remove(pos);
             // Full validation: structure, signatures, key images. Invalid
-            // or non-adoptable blocks are discarded, never fatal.
-            if self
+            // or non-adoptable blocks are discarded, never fatal. A
+            // verified block is WAL-persisted *before* it is applied, so
+            // adoption is atomic across crashes.
+            let adopted = self
                 .chain
                 .verify_block(&orphan.block, &NoConfiguration)
-                .and_then(|()| self.chain.adopt_block(orphan.block))
-                .is_err()
-            {
+                .map_err(NodeError::from)
+                .and_then(|()| self.persist_block(&orphan.block))
+                .and_then(|()| {
+                    self.chain
+                        .adopt_block(orphan.block)
+                        .map_err(NodeError::from)
+                });
+            if adopted.is_err() {
                 self.stats.blocks_discarded += 1;
                 NodeMetrics::global().blocks_discarded.inc();
                 continue;
             }
+            self.after_adopt();
             appended += 1;
         }
         appended

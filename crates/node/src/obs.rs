@@ -47,6 +47,12 @@ pub struct NodeMetrics {
     pub duplicates_dropped: Counter,
     /// `node.parent.requests_total` — backoff parent re-requests emitted.
     pub parent_requests: Counter,
+    /// `node.store.restores_total` — replicas rebuilt from their durable
+    /// store after a crash.
+    pub store_restores: Counter,
+    /// `node.store.restore_flagged_total` — store restores whose recovery
+    /// report was not clean (corruption or immutability violations).
+    pub store_restore_flagged: Counter,
 }
 
 impl NodeMetrics {
@@ -68,6 +74,8 @@ impl NodeMetrics {
             blocks_discarded: registry.counter("node.blocks.discarded_total"),
             duplicates_dropped: registry.counter("node.duplicates.dropped_total"),
             parent_requests: registry.counter("node.parent.requests_total"),
+            store_restores: registry.counter("node.store.restores_total"),
+            store_restore_flagged: registry.counter("node.store.restore_flagged_total"),
         }
     }
 
