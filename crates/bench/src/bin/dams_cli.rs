@@ -8,6 +8,7 @@
 //! dams-cli bench   [--out BENCH_baseline.json] [--selection-out BENCH_selection.json] [--seed N]
 //! dams-cli run     --store-dir DIR [--blocks N] [--seed N] [--crash-after-appends N]
 //! dams-cli recover --store-dir DIR
+//! dams-cli serve-sim [--seed N] [--workers N] [--requests N] [--loads "1,2,4"] [--out BENCH_overload.json]
 //! dams-cli --faults 7 [--metrics text|json]
 //! ```
 //!
@@ -39,6 +40,12 @@
 //!   only when recovery is clean (no corruption, every recovered ring
 //!   signature still satisfies its claimed diversity); torn tails from
 //!   crashes are truncated and reported, corruption exits non-zero.
+//! * `serve-sim` — replay the seeded overload harness (`dams-svc`): a
+//!   deterministic multi-worker selection service with admission control,
+//!   deadline propagation, and circuit breaking, driven by a bursty
+//!   open-loop arrival ramp at each `--loads` multiple of calibrated
+//!   capacity (with injected worker stalls), then write the per-load rows
+//!   (goodput, typed sheds, latency quantiles) to `--out`.
 //! * `--faults N` — replay the scripted adversarial simulation (drop +
 //!   duplicate + reorder + delay + corrupt + partition/heal +
 //!   crash/restore through each replica's durable store) from seed N and
@@ -213,6 +220,48 @@ fn main() {
                 std::process::exit(1);
             }
             return;
+        }
+        "serve-sim" => {
+            let out = get("--out").unwrap_or_else(|| "BENCH_overload.json".into());
+            let workers: usize = get("--workers").and_then(|v| v.parse().ok()).unwrap_or(2);
+            let requests: u64 = get("--requests").and_then(|v| v.parse().ok()).unwrap_or(96);
+            let loads: Vec<f64> = get("--loads")
+                .unwrap_or_else(|| "0.5,1,2,4".into())
+                .split(',')
+                .map(|v| {
+                    v.trim()
+                        .parse()
+                        .unwrap_or_else(|_| die(&format!("bad load multiple {v}")))
+                })
+                .collect();
+            if loads.is_empty() {
+                die("--loads needs at least one multiple");
+            }
+            let base = dams_svc::OverloadConfig {
+                seed,
+                workers,
+                requests,
+                ..dams_svc::OverloadConfig::default()
+            };
+            let rows = dams_svc::run_ramp(&base, &loads);
+            for (load, r) in &rows {
+                println!(
+                    "load {load:.2}x: offered {} completed {} (goodput {:.2}) shed \
+                     {}+{}+{} (queue/deadline/circuit) p99 latency {} ticks",
+                    r.offered,
+                    r.completed,
+                    r.goodput(),
+                    r.shed_queue_full,
+                    r.shed_deadline_infeasible,
+                    r.shed_circuit_open,
+                    r.p99_latency_ticks
+                );
+            }
+            let json = dams_svc::render_bench_json(&base, &rows);
+            if let Err(e) = std::fs::write(&out, &json) {
+                die(&format!("cannot write {out}: {e}"));
+            }
+            println!("wrote {out} ({} load points)", rows.len());
         }
         "bench" => {
             let out = get("--out").unwrap_or_else(|| "BENCH_baseline.json".into());
@@ -474,6 +523,7 @@ fn usage() -> ! {
          [--out FILE] [--selection-out FILE] [--metrics text|json]\n\
          \x20      dams-cli run --store-dir DIR [--blocks N] [--seed N] [--crash-after-appends N]\n\
          \x20      dams-cli recover --store-dir DIR   replay checkpoint + WAL, print recovery report\n\
+         \x20      dams-cli serve-sim [--seed N] [--workers N] [--requests N] [--loads \"1,2,4\"] [--out FILE]\n\
          \x20      dams-cli --faults <seed>   replay a faulted node simulation"
     );
     std::process::exit(2);

@@ -38,8 +38,8 @@
 //!     on small instances (or a single-CPU host) prefer `workers == 1`.
 
 use dams_diversity::{
-    enumerate_dtrs, DeltaHistogram, DiversityRequirement, HtHistogram, RingSet, RsId, TokenId,
-    WorldOptions,
+    enumerate_dtrs, Deadline, DeltaHistogram, DiversityRequirement, HtHistogram, RingSet, RsId,
+    TokenId, WorldOptions,
 };
 
 use crate::cache::{CachedOutcome, EvalCache};
@@ -54,10 +54,16 @@ pub struct BfsBudget {
     pub max_candidates: u64,
     /// Maximum possible worlds per candidate before giving up.
     pub max_worlds: usize,
-    /// Optional wall-clock deadline, checked between candidates *and*
-    /// periodically inside world enumeration. Expiry surfaces as
-    /// [`SelectError::BudgetExhausted`], same as the counters.
-    pub deadline: Option<std::time::Instant>,
+    /// Optional deadline, checked between candidates *and* inside world
+    /// enumeration. Expiry surfaces as [`SelectError::BudgetExhausted`],
+    /// same as the counters. A [`Deadline::At`] instant bounds wall time
+    /// (host-dependent); a [`Deadline::Ticks`] budget is charged one unit
+    /// per candidate examined (and per world-enumeration step within a
+    /// candidate), so expiry — and therefore which tier of the degrade
+    /// ladder answers — is bit-reproducible across hosts and worker
+    /// counts. `Some(Deadline::Ticks(0))` is treated as already elapsed
+    /// before any work.
+    pub deadline: Option<Deadline>,
 }
 
 impl Default for BfsBudget {
@@ -191,7 +197,12 @@ impl<'a> Engine<'a> {
             return false;
         }
         if let Some(deadline) = self.budget.deadline {
-            if std::time::Instant::now() >= deadline {
+            // Work charged so far at candidate granularity: every fully
+            // examined candidate is one unit, so `ordinal - 1` units have
+            // been spent when this candidate is considered. Ticks expiry
+            // is therefore deterministic and identical for any worker
+            // count (the ordinal is fixed by lexicographic enumeration).
+            if deadline.expired(ordinal - 1) {
                 self.records.push(Record::Stop);
                 self.flush();
                 return false;
@@ -280,21 +291,33 @@ impl<'a> Engine<'a> {
                     .collect();
             }
         };
+        // A worker can only disappear if its thread died; rather than
+        // panicking the whole search, fall back to evaluating the affected
+        // candidates inline. `eval_expensive` is deterministic, so the
+        // degraded path stays byte-identical to the pooled one.
         let workers = pool.job_txs.len();
+        let mut dispatched = 0usize;
         for (i, rs) in pending.iter().enumerate() {
-            pool.job_txs[i % workers]
-                .send((i, rs.clone()))
-                .expect("bfs worker exited early");
+            if pool.job_txs[i % workers].send((i, rs.clone())).is_ok() {
+                dispatched += 1;
+            }
         }
         let mut outcomes: Vec<Option<Result<(bool, u64), SelectError>>> =
             vec![None; pending.len()];
-        for _ in 0..pending.len() {
-            let (i, o) = pool.result_rx.recv().expect("bfs worker exited early");
-            outcomes[i] = Some(o);
+        for _ in 0..dispatched {
+            match pool.result_rx.recv() {
+                Ok((i, o)) => outcomes[i] = Some(o),
+                Err(_) => break,
+            }
         }
         outcomes
             .into_iter()
-            .map(|o| o.expect("every pending index evaluated"))
+            .enumerate()
+            .map(|(i, o)| {
+                o.unwrap_or_else(|| {
+                    eval_expensive(self.instance, &pending[i], self.req, self.budget, self.cache)
+                })
+            })
             .collect()
     }
 }
@@ -535,7 +558,7 @@ pub fn bfs_reference(
                 return false;
             }
             if let Some(deadline) = budget.deadline {
-                if std::time::Instant::now() >= deadline {
+                if deadline.expired(stats.candidates_examined - 1) {
                     err = Some(SelectError::BudgetExhausted);
                     return false;
                 }
@@ -895,12 +918,55 @@ mod tests {
         let claims = vec![DiversityRequirement::new(2.0, 1); 4];
         let inst = Instance::new(universe, rings, claims);
         let expired = BfsBudget {
-            deadline: Some(std::time::Instant::now()),
+            deadline: Some(Deadline::At(std::time::Instant::now())),
             ..BfsBudget::default()
         };
         assert_eq!(
             bfs(&inst, TokenId(9), DiversityRequirement::new(2.0, 1), expired).unwrap_err(),
             SelectError::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn tick_deadline_bounds_candidates_deterministically() {
+        let universe = TokenUniverse::new((0..14).map(HtId).collect());
+        let inst = Instance::fresh(universe);
+        let req = DiversityRequirement::new(1.0, 4);
+        // Zero ticks: expired before the first candidate, no work at all.
+        let zero = BfsBudget {
+            deadline: Some(Deadline::Ticks(0)),
+            ..BfsBudget::default()
+        };
+        assert_eq!(
+            bfs(&inst, TokenId(0), req, zero).unwrap_err(),
+            SelectError::BudgetExhausted
+        );
+        // A starved budget expires identically run after run, and for any
+        // worker count — the property the selection service's virtual
+        // deadline propagation depends on.
+        let starved = BfsBudget {
+            deadline: Some(Deadline::Ticks(3)),
+            ..BfsBudget::default()
+        };
+        for workers in [1, 2, 4] {
+            let opts = BfsOptions {
+                budget: starved,
+                workers,
+            };
+            assert_eq!(
+                bfs_with(&inst, TokenId(0), req, &opts, None).unwrap_err(),
+                SelectError::BudgetExhausted,
+                "workers={workers}"
+            );
+        }
+        // A generous tick budget matches the unbudgeted answer exactly.
+        let generous = BfsBudget {
+            deadline: Some(Deadline::Ticks(1 << 30)),
+            ..BfsBudget::default()
+        };
+        assert_eq!(
+            bfs(&inst, TokenId(0), req, generous).unwrap(),
+            bfs(&inst, TokenId(0), req, BfsBudget::default()).unwrap()
         );
     }
 }

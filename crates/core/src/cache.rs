@@ -29,7 +29,7 @@
 use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use dams_diversity::TokenId;
 use dams_obs::Registry;
@@ -135,7 +135,7 @@ impl EvalCache {
 
     /// Look up a candidate by its canonical (sorted) token content.
     pub fn lookup(&self, tokens: &[TokenId]) -> Option<CachedOutcome> {
-        let out = self.inner.lock().expect("cache poisoned").get(tokens);
+        let out = self.inner.lock().unwrap_or_else(PoisonError::into_inner).get(tokens);
         match out {
             Some(v) => {
                 self.metrics.cache_hits.inc();
@@ -154,7 +154,10 @@ impl EvalCache {
         let evicted = self
             .inner
             .lock()
-            .expect("cache poisoned")
+            // A panic inside FifoMap cannot leave it mid-mutation (all its
+            // updates complete or never start), so a poisoned lock is safe
+            // to recover: keep serving rather than cascading the panic.
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(tokens.to_vec(), outcome);
         if evicted > 0 {
             self.metrics.cache_evictions.add(evicted);
@@ -163,7 +166,7 @@ impl EvalCache {
 
     /// Current number of stored outcomes.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").len()
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// True when nothing is cached yet.
@@ -213,7 +216,7 @@ impl ProfileCache {
 
     /// Look up a profile by its selection bitset words.
     pub fn lookup(&self, profile: &[u64]) -> Option<(bool, u32)> {
-        let out = self.inner.lock().expect("cache poisoned").get(profile);
+        let out = self.inner.lock().unwrap_or_else(PoisonError::into_inner).get(profile);
         match out {
             Some(v) => {
                 self.metrics.cache_hits.inc();
@@ -231,7 +234,10 @@ impl ProfileCache {
         let evicted = self
             .inner
             .lock()
-            .expect("cache poisoned")
+            // A panic inside FifoMap cannot leave it mid-mutation (all its
+            // updates complete or never start), so a poisoned lock is safe
+            // to recover: keep serving rather than cascading the panic.
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(profile.to_vec().into_boxed_slice(), value);
         if evicted > 0 {
             self.metrics.cache_evictions.add(evicted);
@@ -240,7 +246,7 @@ impl ProfileCache {
 
     /// Current number of stored profiles.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").len()
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// True when nothing is cached yet.

@@ -19,9 +19,10 @@
 //! an approximation can never find a ring where the exact search showed
 //! none exists.
 
-use dams_diversity::TokenId;
+use dams_diversity::{Deadline, TokenId};
 
-use crate::bfs::{bfs, BfsBudget};
+use crate::bfs::{bfs_with, BfsBudget, BfsOptions};
+use crate::cache::EvalCache;
 use crate::config::SelectionPolicy;
 use crate::game::game_theoretic;
 use crate::instance::{Instance, ModularInstance};
@@ -179,7 +180,61 @@ pub fn select_with_ladder_observed(
     ladder: &[Tier],
     metrics: &CoreMetrics,
 ) -> Result<DegradedSelection, SelectError> {
+    select_with_ladder_exec(
+        instance,
+        target,
+        policy,
+        budget,
+        ladder,
+        metrics,
+        &LadderExec::default(),
+    )
+}
+
+/// Execution knobs for the ladder that do not change *what* is selected,
+/// only how the exact tier computes it: worker threads for candidate
+/// evaluation (byte-identical results for any count, as in
+/// [`crate::bfs::BfsOptions`]) and an optional shared evaluation cache.
+/// The selection service threads its pool configuration through here.
+#[derive(Clone, Copy, Default)]
+pub struct LadderExec<'a> {
+    /// Worker threads for exact-tier candidate evaluation (`0`/`1` mean
+    /// sequential).
+    pub workers: usize,
+    /// Shared candidate-outcome cache consulted by the exact tier.
+    pub cache: Option<&'a EvalCache>,
+}
+
+/// [`select_with_ladder_observed`] with explicit execution knobs.
+///
+/// Deadline semantics: when `budget.bfs.deadline` is already set (the
+/// selection service propagates its remaining virtual budget there), it is
+/// used as-is and `budget.exact_timeout` is ignored; otherwise
+/// `exact_timeout` is converted to a wall-clock [`Deadline::At`] on entry.
+/// A deadline that is **already elapsed** skips the exact tier without
+/// burning a BFS probe: the attempt is recorded as
+/// [`SelectError::DeadlineInfeasible`] (counted in
+/// `core.degrade.deadline_infeasible_total`) and the ladder moves straight
+/// to the cheapest tier that can still answer.
+#[allow(clippy::too_many_arguments)]
+pub fn select_with_ladder_exec(
+    instance: &Instance,
+    target: TokenId,
+    policy: SelectionPolicy,
+    budget: DegradeBudget,
+    ladder: &[Tier],
+    metrics: &CoreMetrics,
+    exec: &LadderExec<'_>,
+) -> Result<DegradedSelection, SelectError> {
     assert!(!ladder.is_empty(), "empty tier ladder");
+
+    // Resolve the exact tier's deadline once, so a wall-clock timeout is
+    // anchored at entry rather than at the (possibly later) exact rung.
+    let exact_deadline: Option<Deadline> = budget.bfs.deadline.or_else(|| {
+        budget
+            .exact_timeout
+            .map(|t| Deadline::At(std::time::Instant::now() + t))
+    });
 
     // The approximation tiers need the modular view; decompose lazily so a
     // non-laminar history can still be served by the exact tier.
@@ -192,14 +247,22 @@ pub fn select_with_ladder_observed(
         let _attempt_span = tier_timer.start_span();
         let outcome = match tier {
             Tier::ExactBfs => {
-                let bfs_budget = BfsBudget {
-                    deadline: budget.exact_timeout.map(|t| std::time::Instant::now() + t),
-                    ..budget.bfs
-                };
-                bfs(instance, target, policy.effective(), bfs_budget).map(|selection| {
-                    let guarantee = Guarantee::Exact;
-                    (selection, guarantee)
-                })
+                if exact_deadline.is_some_and(|d| d.already_elapsed()) {
+                    // No budget left at all: skip the probe entirely so an
+                    // overloaded caller pays nothing for the exact rung.
+                    metrics.degrade_deadline_infeasible.inc();
+                    Err(SelectError::DeadlineInfeasible)
+                } else {
+                    let options = BfsOptions {
+                        budget: BfsBudget {
+                            deadline: exact_deadline,
+                            ..budget.bfs
+                        },
+                        workers: exec.workers,
+                    };
+                    bfs_with(instance, target, policy.effective(), &options, exec.cache)
+                        .map(|selection| (selection, Guarantee::Exact))
+                }
             }
             Tier::Progressive | Tier::GameTheoretic => {
                 let mi = modular.get_or_insert_with(|| {
@@ -253,8 +316,11 @@ pub fn select_with_ladder_observed(
             Err(e) => {
                 let hand_over = match tier {
                     // The exact tier only hands over when it ran out of
-                    // budget; its Infeasible is a proof.
-                    Tier::ExactBfs => e == SelectError::BudgetExhausted,
+                    // budget (or never had any); its Infeasible is a proof.
+                    Tier::ExactBfs => matches!(
+                        e,
+                        SelectError::BudgetExhausted | SelectError::DeadlineInfeasible
+                    ),
                     Tier::Progressive | Tier::GameTheoretic => true,
                 };
                 if last || !hand_over {
@@ -390,6 +456,131 @@ mod tests {
         let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 2));
         let err = select_with_fallback(&inst, TokenId(0), policy, starved()).unwrap_err();
         assert_eq!(err, SelectError::Infeasible);
+    }
+
+    #[test]
+    fn zero_tick_deadline_skips_exact_without_a_probe() {
+        // Regression for BfsBudget.deadline == Some(Deadline::Ticks(0)):
+        // the exact rung must be skipped deterministically — no BFS
+        // candidate is expanded — and the cheapest tier answers with a
+        // DeadlineInfeasible accounting entry.
+        let inst = fresh_instance(8);
+        let req = DiversityRequirement::new(1.0, 3);
+        let policy = SelectionPolicy::new(req);
+        let budget = DegradeBudget {
+            exact_timeout: None,
+            bfs: BfsBudget {
+                deadline: Some(dams_diversity::Deadline::Ticks(0)),
+                ..BfsBudget::default()
+            },
+        };
+        let registry = dams_obs::Registry::new();
+        let metrics = CoreMetrics::in_registry(&registry);
+        let sel = select_with_ladder_observed(
+            &inst,
+            TokenId(0),
+            policy,
+            budget,
+            &Tier::DEFAULT_LADDER,
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(sel.tier, Tier::Progressive);
+        assert_eq!(
+            sel.attempts,
+            vec![(Tier::ExactBfs, SelectError::DeadlineInfeasible)]
+        );
+        let hist = HtHistogram::from_ring(&sel.selection.ring, &inst.universe);
+        assert!(req.satisfied_by(&hist));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.bfs.candidates_total"), Some(0));
+        assert_eq!(snap.counter("core.degrade.deadline_infeasible_total"), Some(1));
+    }
+
+    #[test]
+    fn elapsed_deadline_on_exact_only_ladder_is_an_error() {
+        let inst = fresh_instance(6);
+        let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 2));
+        let budget = DegradeBudget {
+            exact_timeout: None,
+            bfs: BfsBudget {
+                deadline: Some(dams_diversity::Deadline::Ticks(0)),
+                ..BfsBudget::default()
+            },
+        };
+        assert_eq!(
+            select_with_ladder(&inst, TokenId(0), policy, budget, &[Tier::ExactBfs])
+                .unwrap_err(),
+            SelectError::DeadlineInfeasible
+        );
+    }
+
+    #[test]
+    fn elapsed_wall_clock_deadline_also_skips_the_probe() {
+        let inst = fresh_instance(8);
+        let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 2));
+        let budget = DegradeBudget {
+            exact_timeout: Some(std::time::Duration::ZERO),
+            bfs: BfsBudget::default(),
+        };
+        let registry = dams_obs::Registry::new();
+        let metrics = CoreMetrics::in_registry(&registry);
+        let sel = select_with_ladder_observed(
+            &inst,
+            TokenId(0),
+            policy,
+            budget,
+            &Tier::DEFAULT_LADDER,
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(
+            sel.attempts,
+            vec![(Tier::ExactBfs, SelectError::DeadlineInfeasible)]
+        );
+        assert_eq!(
+            registry.snapshot().counter("core.bfs.candidates_total"),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn tick_budget_steers_the_ladder_deterministically() {
+        // A generous tick budget lets the exact tier answer; a starved one
+        // degrades — and both outcomes are identical across worker counts.
+        let inst = fresh_instance(8);
+        let req = DiversityRequirement::new(1.0, 3);
+        let policy = SelectionPolicy::new(req);
+        for (ticks, expect_exact) in [(1u64 << 30, true), (2, false)] {
+            let mut tiers = Vec::new();
+            for workers in [1usize, 2, 4] {
+                let budget = DegradeBudget {
+                    exact_timeout: None,
+                    bfs: BfsBudget {
+                        deadline: Some(dams_diversity::Deadline::Ticks(ticks)),
+                        ..BfsBudget::default()
+                    },
+                };
+                let registry = dams_obs::Registry::new();
+                let metrics = CoreMetrics::in_registry(&registry);
+                let sel = select_with_ladder_exec(
+                    &inst,
+                    TokenId(0),
+                    policy,
+                    budget,
+                    &Tier::DEFAULT_LADDER,
+                    &metrics,
+                    &LadderExec { workers, cache: None },
+                )
+                .unwrap();
+                assert_eq!(sel.tier == Tier::ExactBfs, expect_exact, "ticks={ticks}");
+                tiers.push((sel.tier, sel.selection.ring.clone()));
+            }
+            assert!(
+                tiers.windows(2).all(|w| w[0] == w[1]),
+                "worker count changed the answer: {tiers:?}"
+            );
+        }
     }
 
     #[test]

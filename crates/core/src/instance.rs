@@ -212,27 +212,29 @@ impl ModularInstance {
                 tokens: ring,
             });
         }
-        // Remaining tokens are fresh.
+        // Remaining tokens are fresh. Resolving the assignment in the same
+        // pass keeps the mapping total by construction — no unwrap needed.
+        let mut assigned = Vec::with_capacity(n);
         for t in 0..n as u32 {
-            if module_of[t as usize].is_none() {
-                let id = ModuleId(modules.len());
-                module_of[t as usize] = Some(id);
-                subset_counts.push(0);
-                modules.push(Module {
-                    id,
-                    kind: ModuleKind::FreshToken,
-                    tokens: RingSet::new([TokenId(t)]),
-                });
+            match module_of[t as usize] {
+                Some(id) => assigned.push(id),
+                None => {
+                    let id = ModuleId(modules.len());
+                    assigned.push(id);
+                    subset_counts.push(0);
+                    modules.push(Module {
+                        id,
+                        kind: ModuleKind::FreshToken,
+                        tokens: RingSet::new([TokenId(t)]),
+                    });
+                }
             }
         }
 
         Ok(ModularInstance {
             universe,
             modules,
-            module_of: module_of
-                .into_iter()
-                .map(|m| m.expect("every token assigned a module"))
-                .collect(),
+            module_of: assigned,
             subset_counts,
         })
     }

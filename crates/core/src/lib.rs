@@ -68,9 +68,10 @@ pub use cache::{CachedOutcome, EvalCache, ProfileCache, DEFAULT_CACHE_CAPACITY};
 pub use config::{
     dtrs_diverse_fast, dtrs_token_sets_fast, psi, satisfies_first_configuration, SelectionPolicy,
 };
+pub use dams_diversity::Deadline;
 pub use degrade::{
-    select_with_fallback, select_with_ladder, select_with_ladder_observed, DegradeBudget,
-    DegradedSelection, Guarantee, Tier,
+    select_with_fallback, select_with_ladder, select_with_ladder_exec,
+    select_with_ladder_observed, DegradeBudget, DegradedSelection, Guarantee, LadderExec, Tier,
 };
 pub use game::{
     game_theoretic, game_theoretic_from, game_theoretic_reference, game_theoretic_with,

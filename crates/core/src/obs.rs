@@ -40,12 +40,16 @@ const ALGOS: [Algorithm; 5] = [
     Algorithm::Random,
 ];
 
-/// Stable index of an algorithm into the per-algorithm metric arrays.
+/// Stable index of an algorithm into the per-algorithm metric arrays
+/// (total by construction — must stay index-aligned with [`ALGOS`]).
 fn algo_index(algorithm: Algorithm) -> usize {
-    ALGOS
-        .iter()
-        .position(|a| *a == algorithm)
-        .expect("every Algorithm variant is listed")
+    match algorithm {
+        Algorithm::Bfs => 0,
+        Algorithm::Progressive => 1,
+        Algorithm::GameTheoretic => 2,
+        Algorithm::Smallest => 3,
+        Algorithm::Random => 4,
+    }
 }
 
 /// Stable index of a tier into the per-tier metric arrays.
@@ -102,6 +106,9 @@ pub struct CoreMetrics {
     pub degrade_answered: [Counter; 3],
     /// Tier hand-overs (budget exhaustions and approximation dead-ends).
     pub degrade_fallbacks: Counter,
+    /// Exact-tier attempts skipped because the deadline was already
+    /// elapsed on entry (no BFS probe was burned).
+    pub degrade_deadline_infeasible: Counter,
     /// Per-tier attempt wall time (nanoseconds), success or not.
     pub degrade_tier_time: [Histogram; 3],
     /// Ring sizes the degrading selector returned.
@@ -137,6 +144,8 @@ impl CoreMetrics {
                 registry.counter(&format!("core.degrade.answered.{}_total", tier_segment(i)))
             }),
             degrade_fallbacks: registry.counter("core.degrade.fallbacks_total"),
+            degrade_deadline_infeasible: registry
+                .counter("core.degrade.deadline_infeasible_total"),
             degrade_tier_time: std::array::from_fn(|i| {
                 registry.histogram(
                     &format!("core.degrade.tier.{}_ns", tier_segment(i)),

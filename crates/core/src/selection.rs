@@ -77,6 +77,11 @@ pub enum SelectError {
     Infeasible,
     /// The exact search exceeded its configured budget.
     BudgetExhausted,
+    /// The request's deadline was already elapsed before any search work
+    /// could start, so the attempt was skipped rather than probed. Emitted
+    /// by the degrade ladder (and surfaced by the selection service as a
+    /// typed shed) when a request arrives with zero remaining budget.
+    DeadlineInfeasible,
     /// Appending the ring would violate the η feasibility guard (§4).
     EtaGuardViolated,
 }
@@ -89,6 +94,9 @@ impl std::fmt::Display for SelectError {
                 write!(f, "no eligible ring exists; relax the diversity requirement")
             }
             SelectError::BudgetExhausted => write!(f, "exact search budget exhausted"),
+            SelectError::DeadlineInfeasible => {
+                write!(f, "deadline already elapsed before selection could start")
+            }
             SelectError::EtaGuardViolated => {
                 write!(f, "ring would exhaust the batch (η feasibility guard)")
             }
@@ -128,6 +136,7 @@ mod tests {
             SelectError::UnknownToken,
             SelectError::Infeasible,
             SelectError::BudgetExhausted,
+            SelectError::DeadlineInfeasible,
             SelectError::EtaGuardViolated,
         ] {
             assert!(!e.to_string().is_empty());

@@ -134,7 +134,7 @@ impl TokenMagic {
         }
         // Line 7: uniform random pick.
         let pick = rng.gen_range(0..admissible.len());
-        Ok(admissible.into_iter().nth(pick).expect("index in range"))
+        admissible.into_iter().nth(pick).ok_or(SelectError::Infeasible)
     }
 }
 

@@ -11,6 +11,7 @@
 //! it is used by the exact BFS algorithm and by exact DTRS computation on
 //! small instances only.
 
+use crate::deadline::Deadline;
 use crate::related::RingIndex;
 use crate::types::{RingSet, RsId, TokenId};
 
@@ -18,7 +19,7 @@ use crate::types::{RingSet, RsId, TokenId};
 /// the input slice (same order as passed to [`enumerate_combinations`]).
 pub type Combination = Vec<TokenId>;
 
-/// The wall-clock deadline of [`WorldOptions`] expired mid-enumeration.
+/// The deadline of [`WorldOptions`] expired mid-enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorldsExpired;
 
@@ -33,15 +34,19 @@ pub struct WorldOptions<'a> {
     /// assigned). This lets the exact BFS evaluate a prospective ring
     /// without cloning the entire [`RingIndex`] per candidate.
     pub extra: Option<(RsId, &'a RingSet)>,
-    /// Wall-clock deadline, checked periodically *inside* the recursion so
-    /// one candidate with a huge possible-world set cannot blow far past
-    /// the budget (see `BfsBudget.deadline`).
-    pub deadline: Option<std::time::Instant>,
+    /// Deadline, checked *inside* the recursion so one candidate with a
+    /// huge possible-world set cannot blow far past the budget (see
+    /// `BfsBudget.deadline`). A [`Deadline::Ticks`] budget is charged one
+    /// unit per recursion step, making expiry deterministic; a
+    /// [`Deadline::At`] instant is polled every `DEADLINE_STRIDE` (1024) steps.
+    pub deadline: Option<Deadline>,
 }
 
-/// How many recursion steps pass between deadline checks. Checking
-/// `Instant::now()` per step would dominate the enumeration itself; every
-/// 1024 steps bounds the overshoot to microseconds.
+/// How many recursion steps pass between wall-clock deadline checks.
+/// Checking `Instant::now()` per step would dominate the enumeration
+/// itself; every 1024 steps bounds the overshoot to microseconds.
+/// (Virtual `Ticks` deadlines are exact: they compare against the step
+/// counter itself and are checked every step.)
 const DEADLINE_STRIDE: u32 = 1024;
 
 struct WorldEnum<'a> {
@@ -49,8 +54,8 @@ struct WorldEnum<'a> {
     rings: &'a [RsId],
     extra: Option<(RsId, &'a RingSet)>,
     limit: usize,
-    deadline: Option<std::time::Instant>,
-    ticks: u32,
+    deadline: Option<Deadline>,
+    steps: u64,
     expired: bool,
     out: Vec<Combination>,
     chosen: Vec<TokenId>,
@@ -69,16 +74,23 @@ impl<'a> WorldEnum<'a> {
         if self.out.len() >= self.limit || self.expired {
             return;
         }
-        self.ticks = self.ticks.wrapping_add(1);
-        // Check at tick 1 (so an already-expired deadline aborts before any
-        // work) and every DEADLINE_STRIDE ticks thereafter.
-        if self.ticks % DEADLINE_STRIDE == 1 {
-            if let Some(d) = self.deadline {
-                if std::time::Instant::now() >= d {
-                    self.expired = true;
-                    return;
-                }
+        self.steps += 1;
+        // Virtual deadlines are exact (one work unit per step, checked
+        // every step); wall-clock deadlines are polled at step 1 (so an
+        // already-expired deadline aborts before any work) and every
+        // DEADLINE_STRIDE steps thereafter.
+        match self.deadline {
+            Some(d @ Deadline::Ticks(_)) if d.expired(self.steps - 1) => {
+                self.expired = true;
+                return;
             }
+            Some(d @ Deadline::At(_))
+                if self.steps % u64::from(DEADLINE_STRIDE) == 1 && d.expired(self.steps) =>
+            {
+                self.expired = true;
+                return;
+            }
+            _ => {}
         }
         if depth == order.len() {
             // Permute back to the caller's ring order.
@@ -137,7 +149,7 @@ pub fn enumerate_with_limit(
 }
 
 /// The general possible-world enumerator: [`enumerate_with_limit`] plus an
-/// optional out-of-index candidate ring and an optional wall-clock deadline.
+/// optional out-of-index candidate ring and an optional [`Deadline`].
 ///
 /// The recursion — and therefore the *order* of the produced combinations —
 /// is identical to [`enumerate_with_limit`] over an index with the extra
@@ -159,7 +171,7 @@ pub fn enumerate_worlds(
         extra: opts.extra,
         limit: opts.limit,
         deadline: opts.deadline,
-        ticks: 0,
+        steps: 0,
         expired: false,
         out: Vec::new(),
         chosen: Vec::with_capacity(rings.len()),
@@ -342,10 +354,50 @@ mod tests {
             &WorldOptions {
                 limit: usize::MAX,
                 extra: None,
-                deadline: Some(past),
+                deadline: Some(Deadline::At(past)),
             },
         );
         assert_eq!(res, Err(WorldsExpired));
+    }
+
+    #[test]
+    fn zero_tick_deadline_aborts_before_any_work() {
+        // A virtual budget of 0 work units must expire before the first
+        // recursion step — the `Deadline::Ticks(0)` contract the degrade
+        // ladder and the selection service rely on.
+        let idx = RingIndex::from_rings([ring(&[1, 2]), ring(&[1, 2])]);
+        let res = enumerate_worlds(
+            &idx,
+            &[RsId(0), RsId(1)],
+            &WorldOptions {
+                limit: usize::MAX,
+                extra: None,
+                deadline: Some(Deadline::Ticks(0)),
+            },
+        );
+        assert_eq!(res, Err(WorldsExpired));
+    }
+
+    #[test]
+    fn tick_deadlines_are_deterministic_and_generous_ones_complete() {
+        let big: Vec<u32> = (1..=10).collect();
+        let idx = RingIndex::from_rings([ring(&big), ring(&big)]);
+        let opts = |ticks| WorldOptions {
+            limit: usize::MAX,
+            extra: None,
+            deadline: Some(Deadline::Ticks(ticks)),
+        };
+        // A starved budget expires identically on every run.
+        for _ in 0..3 {
+            assert_eq!(
+                enumerate_worlds(&idx, &[RsId(0), RsId(1)], &opts(5)),
+                Err(WorldsExpired)
+            );
+        }
+        // A generous budget completes and matches the unbudgeted result.
+        let unbudgeted = enumerate_combinations(&idx, &[RsId(0), RsId(1)]);
+        let budgeted = enumerate_worlds(&idx, &[RsId(0), RsId(1)], &opts(1 << 20)).unwrap();
+        assert_eq!(budgeted, unbudgeted);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 pub mod chain_reaction;
 pub mod closeness;
 pub mod combination;
+pub mod deadline;
 pub mod dtrs;
 pub mod histogram;
 pub mod homogeneity;
@@ -34,6 +35,7 @@ pub use combination::{
     enumerate_combinations, enumerate_with_limit, enumerate_worlds, Combination, WorldOptions,
     WorldsExpired,
 };
+pub use deadline::Deadline;
 pub use dtrs::{enumerate_dtrs, Dtrs};
 pub use histogram::{DeltaHistogram, HtHistogram};
 pub use metrics::{batch_anonymity, ring_anonymity, BatchAnonymity, RingAnonymity};

@@ -38,6 +38,11 @@ pub enum WalletError {
     /// The committed history is not laminar — the chain contains rings
     /// that violate the first practical configuration.
     BrokenHistory,
+    /// The selection service refused the request (admission control):
+    /// the deadline budget is infeasible or the exact-tier circuit is
+    /// open. The spend was not attempted — retry with a larger budget or
+    /// without `require_exact`.
+    Shed(dams_svc::ShedReason),
 }
 
 impl std::fmt::Display for WalletError {
@@ -52,6 +57,7 @@ impl std::fmt::Display for WalletError {
             WalletError::BrokenHistory => {
                 write!(f, "committed rings violate the practical configuration")
             }
+            WalletError::Shed(r) => write!(f, "selection service shed the request: {r}"),
         }
     }
 }
@@ -66,6 +72,8 @@ pub struct Wallet {
     pub policy: SelectionPolicy,
     /// Which practical algorithm drives selection.
     pub algorithm: PracticalAlgorithm,
+    /// Admission-control tuning for [`Wallet::spend_with_budget`].
+    pub svc: dams_svc::FrontendConfig,
 }
 
 impl Wallet {
@@ -74,6 +82,7 @@ impl Wallet {
             keys: HashMap::new(),
             policy,
             algorithm,
+            svc: dams_svc::FrontendConfig::default(),
         }
     }
 
@@ -154,9 +163,98 @@ impl Wallet {
             .generate(&modular, alg_token, &tracker, rng)
             .map_err(WalletError::Selection)?;
 
+        self.validate_sign_submit(
+            chain,
+            &selection.ring,
+            &view,
+            &instance,
+            rec.amount,
+            &signer,
+            receiver,
+            config,
+            rng,
+        )?;
+        Ok(selection.ring)
+    }
+
+    /// Spend `token` under an explicit deadline budget, routed through
+    /// the overload-aware selection frontend (`dams-svc`).
+    ///
+    /// Unlike [`Wallet::spend`], selection runs the degrade ladder: the
+    /// budget (in virtual ticks — see `dams_svc::Frontend`) buys as much
+    /// exact search as it affords and falls back to the approximation
+    /// tiers otherwise. A budget below the configured reserve, or an
+    /// open exact-tier circuit when `require_exact` is set, sheds the
+    /// request with [`WalletError::Shed`] *before* any work runs.
+    /// Metrics land in `registry` under `svc.*` / `core.*`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spend_with_budget<R: Rng + ?Sized>(
+        &self,
+        chain: &mut Chain,
+        token: dams_blockchain::TokenId,
+        receiver: PublicKey,
+        config: &dyn RingConfiguration,
+        budget_ticks: u64,
+        require_exact: bool,
+        registry: &dams_obs::Registry,
+        rng: &mut R,
+    ) -> Result<RingSet, WalletError> {
+        let rec = chain
+            .token(token)
+            .ok_or(WalletError::NotOurs(token))?
+            .clone();
+        let signer = *self
+            .keys
+            .get(&rec.owner.value())
+            .ok_or(WalletError::NotOurs(token))?;
+
+        let view = chain_view(chain);
+        let instance = dams_core::Instance::new(
+            view.universe.clone(),
+            view.rings.clone(),
+            view.claims
+                .iter()
+                .map(|&(c, l)| DiversityRequirement::new(c.max(f64::MIN_POSITIVE), l.max(1)))
+                .collect(),
+        );
+        let mut frontend = dams_svc::Frontend::new(&instance, self.policy, self.svc, registry);
+        let alg_token = dams_diversity::TokenId(token.0 as u32);
+        let degraded = frontend
+            .select(alg_token, budget_ticks, require_exact)
+            .map_err(WalletError::Shed)?;
+
+        self.validate_sign_submit(
+            chain,
+            &degraded.selection.ring,
+            &view,
+            &instance,
+            rec.amount,
+            &signer,
+            receiver,
+            config,
+            rng,
+        )?;
+        Ok(degraded.selection.ring)
+    }
+
+    /// Shared spend tail: Definition-5 self-validation, ring signing,
+    /// submission, and block sealing.
+    #[allow(clippy::too_many_arguments)]
+    fn validate_sign_submit<R: Rng + ?Sized>(
+        &self,
+        chain: &mut Chain,
+        ring: &RingSet,
+        view: &crate::auditor::ChainView,
+        instance: &dams_core::Instance,
+        amount: dams_blockchain::Amount,
+        signer: &KeyPair,
+        receiver: PublicKey,
+        config: &dyn RingConfiguration,
+        rng: &mut R,
+    ) -> Result<(), WalletError> {
         // Definition-5 self-validation before broadcasting.
         let verdict = validate_ring(
-            &selection.ring,
+            ring,
             self.policy.requirement,
             &view.rings,
             &instance.claims,
@@ -169,7 +267,7 @@ impl Wallet {
         // Step 2: sign over the declared ring, sorted by ledger id.
         let outputs = vec![TokenOutput {
             owner: receiver,
-            amount: rec.amount,
+            amount,
         }];
         let shell = Transaction {
             inputs: vec![],
@@ -177,8 +275,7 @@ impl Wallet {
             memo: vec![],
         };
         let payload = shell.signing_payload();
-        let ring_ids: Vec<dams_blockchain::TokenId> = selection
-            .ring
+        let ring_ids: Vec<dams_blockchain::TokenId> = ring
             .tokens()
             .iter()
             .map(|t| dams_blockchain::TokenId(t.0 as u64))
@@ -187,7 +284,7 @@ impl Wallet {
             .iter()
             .map(|t| chain.token(*t).map(|rec| rec.owner).ok_or(WalletError::NotOurs(*t)))
             .collect::<Result<_, _>>()?;
-        let sig = dams_crypto::sign(chain.group(), &payload, &ring_keys, &signer, rng)
+        let sig = dams_crypto::sign(chain.group(), &payload, &ring_keys, signer, rng)
             .map_err(WalletError::Signing)?;
         let tx = Transaction {
             inputs: vec![RingInput {
@@ -201,7 +298,7 @@ impl Wallet {
         };
         chain.submit(tx, config).map_err(WalletError::Chain)?;
         chain.seal_block().map_err(WalletError::ChainState)?;
-        Ok(selection.ring)
+        Ok(())
     }
 }
 
@@ -344,6 +441,91 @@ mod tests {
             | WalletError::Selection(_) => {}
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn budgeted_spend_end_to_end() {
+        let (mut chain, wallet, mut rng) = setup();
+        let receiver = KeyPair::generate(chain.group(), &mut rng).public;
+        let registry = dams_obs::Registry::new();
+        let ring = wallet
+            .spend_with_budget(
+                &mut chain,
+                dams_blockchain::TokenId(1),
+                receiver,
+                &NoConfiguration,
+                1 << 20,
+                false,
+                &registry,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(ring.contains(dams_diversity::TokenId(1)));
+        assert!(chain.audit());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("svc.completed_total"), Some(1));
+        // A generous budget buys the exact tier.
+        assert_eq!(snap.counter("svc.degraded_total"), Some(0));
+    }
+
+    #[test]
+    fn starved_budget_spend_is_shed_typed() {
+        let (mut chain, mut wallet, mut rng) = setup();
+        wallet.svc.reserve_ticks = 1 << 16;
+        let receiver = KeyPair::generate(chain.group(), &mut rng).public;
+        let registry = dams_obs::Registry::new();
+        let err = wallet
+            .spend_with_budget(
+                &mut chain,
+                dams_blockchain::TokenId(1),
+                receiver,
+                &NoConfiguration,
+                8,
+                false,
+                &registry,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WalletError::Shed(dams_svc::ShedReason::DeadlineInfeasible)
+            ),
+            "{err:?}"
+        );
+        // Nothing was signed or submitted.
+        assert_eq!(
+            registry.snapshot().counter("svc.completed_total"),
+            Some(0)
+        );
+        assert!(wallet
+            .spendable(&chain)
+            .contains(&dams_blockchain::TokenId(1)));
+    }
+
+    #[test]
+    fn tight_budget_spend_degrades_but_completes() {
+        let (mut chain, wallet, mut rng) = setup();
+        let receiver = KeyPair::generate(chain.group(), &mut rng).public;
+        let registry = dams_obs::Registry::new();
+        // Clears the default reserve (64) but grants almost no exact
+        // candidates: the ladder answers at an approximation tier.
+        let ring = wallet
+            .spend_with_budget(
+                &mut chain,
+                dams_blockchain::TokenId(2),
+                receiver,
+                &NoConfiguration,
+                68,
+                false,
+                &registry,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(ring.contains(dams_diversity::TokenId(2)));
+        assert!(chain.audit());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("svc.degraded_total"), Some(1));
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! A circuit breaker around the exact BFS tier.
+//!
+//! The exact search is the only tier whose cost is exponential in the
+//! worst case, so it is the only tier that can drag the whole service
+//! down when the instance mix turns hostile. The breaker watches for
+//! **consecutive deadline-driven fallbacks** — requests that granted the
+//! exact tier a budget and watched it burn without answering — and after
+//! `open_after` of them stops granting exact budgets at all:
+//!
+//! * **Closed** — exact attempts allowed; consecutive fallbacks counted.
+//! * **Open** — exact attempts denied until a cooldown expires. The
+//!   cooldown grows exponentially (`cooldown · 2^reopens`, capped at
+//!   `max_cooldown`) with caller-supplied seeded jitter, so repeated
+//!   reopens back off instead of thrashing.
+//! * **HalfOpen** — one probe request is granted an exact budget. If it
+//!   answers at the exact tier the breaker closes and resets; if it
+//!   falls back again the breaker reopens with a longer cooldown.
+//!
+//! All time is the caller's virtual tick clock, so breaker behaviour is
+//! part of the deterministic replay — the same seed reproduces the same
+//! open/half-open/close trajectory, which the overload tests assert from
+//! metric snapshots.
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive deadline-driven fallbacks that open the circuit.
+    pub open_after: u32,
+    /// Base cooldown (ticks) before a half-open probe is allowed.
+    pub cooldown: u64,
+    /// Upper bound on the exponentially grown cooldown.
+    pub max_cooldown: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            open_after: 4,
+            cooldown: 64,
+            max_cooldown: 1024,
+        }
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl CircuitState {
+    /// Stable encoding for the `svc.circuit.state` gauge.
+    pub fn gauge_value(self) -> i64 {
+        match self {
+            CircuitState::Closed => 0,
+            CircuitState::Open => 1,
+            CircuitState::HalfOpen => 2,
+        }
+    }
+}
+
+/// A state transition the caller should surface in metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    Opened,
+    HalfOpened,
+    Closed,
+}
+
+/// The breaker (see the module docs for the state machine).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: CircuitState,
+    /// Consecutive deadline-driven fallbacks while closed.
+    consecutive: u32,
+    /// When an open circuit may half-open (virtual tick).
+    open_until: u64,
+    /// How many times the circuit has (re)opened since the last close —
+    /// drives the exponential cooldown.
+    reopens: u32,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: CircuitState::Closed,
+            consecutive: 0,
+            open_until: 0,
+            reopens: 0,
+        }
+    }
+
+    pub fn state(&self) -> CircuitState {
+        self.state
+    }
+
+    /// Whether a request dispatched at `now` may be granted an exact
+    /// budget. An expired open circuit transitions to half-open here (the
+    /// returned transition, if any, must be surfaced in metrics); the
+    /// half-open state grants exactly one probe at a time.
+    pub fn exact_allowed(&mut self, now: u64) -> (bool, Option<Transition>) {
+        match self.state {
+            CircuitState::Closed => (true, None),
+            CircuitState::HalfOpen => (true, None),
+            CircuitState::Open if now >= self.open_until => {
+                self.state = CircuitState::HalfOpen;
+                (true, Some(Transition::HalfOpened))
+            }
+            CircuitState::Open => (false, None),
+        }
+    }
+
+    /// Record a request that was granted an exact budget and answered at
+    /// the exact tier.
+    pub fn on_exact_success(&mut self) -> Option<Transition> {
+        self.consecutive = 0;
+        if self.state == CircuitState::HalfOpen {
+            self.state = CircuitState::Closed;
+            self.reopens = 0;
+            return Some(Transition::Closed);
+        }
+        None
+    }
+
+    /// Record a deadline-driven fallback (the exact grant burned without
+    /// an answer, or was skipped as already infeasible). `jitter` is a
+    /// caller-drawn tick offset (seeded, so replays are identical) added
+    /// to the cooldown to de-synchronize reopen storms.
+    pub fn on_fallback(&mut self, now: u64, jitter: u64) -> Option<Transition> {
+        match self.state {
+            CircuitState::HalfOpen => {
+                // The probe failed: reopen with a longer cooldown.
+                self.open(now, jitter);
+                Some(Transition::Opened)
+            }
+            CircuitState::Closed => {
+                self.consecutive += 1;
+                if self.consecutive >= self.cfg.open_after {
+                    self.open(now, jitter);
+                    Some(Transition::Opened)
+                } else {
+                    None
+                }
+            }
+            CircuitState::Open => None,
+        }
+    }
+
+    fn open(&mut self, now: u64, jitter: u64) {
+        let backoff = self
+            .cfg
+            .cooldown
+            .saturating_shl(self.reopens.min(32))
+            .min(self.cfg.max_cooldown);
+        self.state = CircuitState::Open;
+        self.open_until = now.saturating_add(backoff).saturating_add(jitter);
+        self.reopens = self.reopens.saturating_add(1);
+        self.consecutive = 0;
+    }
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, n: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, n: u32) -> u64 {
+        if n >= 64 {
+            return u64::MAX;
+        }
+        self.checked_shl(n).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            open_after: 3,
+            cooldown: 10,
+            max_cooldown: 100,
+        }
+    }
+
+    #[test]
+    fn opens_after_k_consecutive_fallbacks() {
+        let mut b = CircuitBreaker::new(cfg());
+        assert_eq!(b.on_fallback(0, 0), None);
+        assert_eq!(b.on_fallback(1, 0), None);
+        assert_eq!(b.on_fallback(2, 0), Some(Transition::Opened));
+        assert_eq!(b.state(), CircuitState::Open);
+        assert_eq!(b.exact_allowed(3), (false, None));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.on_fallback(0, 0);
+        b.on_fallback(1, 0);
+        assert_eq!(b.on_exact_success(), None);
+        assert_eq!(b.on_fallback(2, 0), None, "streak was reset");
+        assert_eq!(b.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_then_close() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.on_fallback(t, 0);
+        }
+        // Cooldown is 10 ticks from the opening fallback at t=2.
+        assert_eq!(b.exact_allowed(5), (false, None));
+        let (allowed, tr) = b.exact_allowed(12);
+        assert!(allowed);
+        assert_eq!(tr, Some(Transition::HalfOpened));
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        assert_eq!(b.on_exact_success(), Some(Transition::Closed));
+        assert_eq!(b.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_longer_cooldown() {
+        let mut b = CircuitBreaker::new(cfg());
+        for t in 0..3 {
+            b.on_fallback(t, 0);
+        }
+        b.exact_allowed(12); // half-open
+        assert_eq!(b.on_fallback(12, 0), Some(Transition::Opened));
+        // Second opening doubles the cooldown: 20 ticks from t=12.
+        assert_eq!(b.exact_allowed(25), (false, None));
+        assert!(b.exact_allowed(32).0);
+    }
+
+    #[test]
+    fn cooldown_is_capped_and_jittered() {
+        let mut b = CircuitBreaker::new(cfg());
+        // Drive many reopen cycles; the cooldown must never exceed
+        // max_cooldown + jitter.
+        let mut now = 0;
+        for _ in 0..10 {
+            for _ in 0..3 {
+                b.on_fallback(now, 5);
+            }
+            now += 200; // past any cap
+            let (allowed, _) = b.exact_allowed(now);
+            assert!(allowed, "cooldown exceeded cap at tick {now}");
+            b.on_fallback(now, 5); // fail the probe, reopen
+            now += 200;
+            b.exact_allowed(now);
+        }
+    }
+
+    #[test]
+    fn gauge_encoding_is_stable() {
+        assert_eq!(CircuitState::Closed.gauge_value(), 0);
+        assert_eq!(CircuitState::Open.gauge_value(), 1);
+        assert_eq!(CircuitState::HalfOpen.gauge_value(), 2);
+    }
+}

@@ -1,0 +1,289 @@
+//! A synchronous, single-caller facade over the service's admission and
+//! circuit-breaking logic, for embedding in `dams-node`'s wallet.
+//!
+//! The full [`Service`](crate::service::Service) simulates queueing over
+//! an arrival schedule; a wallet instead makes one blocking selection at
+//! a time. [`Frontend`] applies the same protections without the queue:
+//! deadline-infeasible budgets and circuit-open exact requirements are
+//! refused with a typed [`ShedReason`] *before* any search runs, exact
+//! grants are derived from the same reserve arithmetic, and the breaker
+//! advances on a virtual clock priced from each call's own work.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dams_core::{
+    select_with_ladder_exec, BfsBudget, CoreMetrics, Deadline, DegradeBudget, DegradedSelection,
+    Instance, LadderExec, SelectError, SelectionPolicy, Tier,
+};
+use dams_diversity::TokenId;
+use dams_obs::Registry;
+
+use crate::breaker::{BreakerConfig, CircuitBreaker, CircuitState};
+use crate::obs::SvcMetrics;
+use crate::service::ShedReason;
+
+/// Frontend tuning (the queueless subset of the service config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendConfig {
+    /// Exchange rate: ticks one exact-BFS candidate costs.
+    pub ticks_per_candidate: u64,
+    /// Ticks held back from the exact grant for the cheap tiers.
+    pub reserve_ticks: u64,
+    pub breaker: BreakerConfig,
+    /// Threads inside one exact search.
+    pub bfs_workers: usize,
+    /// Seed for breaker jitter.
+    pub seed: u64,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            ticks_per_candidate: 4,
+            reserve_ticks: 64,
+            breaker: BreakerConfig::default(),
+            bfs_workers: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Overload-aware selection facade (see the module docs).
+pub struct Frontend<'a> {
+    instance: &'a Instance,
+    policy: SelectionPolicy,
+    cfg: FrontendConfig,
+    breaker: CircuitBreaker,
+    metrics: SvcMetrics,
+    core: CoreMetrics,
+    rng: StdRng,
+    /// Virtual clock, advanced by each call's priced work.
+    now: u64,
+}
+
+impl<'a> Frontend<'a> {
+    /// Metrics land in `registry` under the usual `svc.*` / `core.*`
+    /// names, so callers can merge them into their own observability.
+    pub fn new(
+        instance: &'a Instance,
+        policy: SelectionPolicy,
+        cfg: FrontendConfig,
+        registry: &Registry,
+    ) -> Self {
+        let metrics = SvcMetrics::in_registry(registry);
+        metrics.circuit_state.set(CircuitState::Closed.gauge_value());
+        Frontend {
+            instance,
+            policy,
+            cfg,
+            breaker: CircuitBreaker::new(cfg.breaker),
+            metrics,
+            core: CoreMetrics::in_registry(registry),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xf07e_57a7),
+            now: 0,
+        }
+    }
+
+    /// The breaker's current state (for tests and introspection).
+    pub fn circuit_state(&self) -> CircuitState {
+        self.breaker.state()
+    }
+
+    /// One admission-controlled selection. `budget_ticks` is the caller's
+    /// deadline in virtual ticks; `require_exact` refuses degraded
+    /// answers instead of running without an exact grant.
+    pub fn select(
+        &mut self,
+        target: TokenId,
+        budget_ticks: u64,
+        require_exact: bool,
+    ) -> Result<DegradedSelection, ShedReason> {
+        self.metrics.offered.inc();
+        if budget_ticks < self.cfg.reserve_ticks {
+            self.metrics.shed_deadline_infeasible.inc();
+            return Err(ShedReason::DeadlineInfeasible);
+        }
+        let (exact_ok, tr) = self.breaker.exact_allowed(self.now);
+        self.surface(tr);
+        if require_exact && !exact_ok {
+            self.metrics.shed_circuit_open.inc();
+            return Err(ShedReason::CircuitOpen);
+        }
+        self.metrics.admitted.inc();
+
+        let tpc = self.cfg.ticks_per_candidate.max(1);
+        let grant = if exact_ok {
+            (budget_ticks - self.cfg.reserve_ticks) / tpc
+        } else {
+            0
+        };
+        let ladder: &[Tier] = if exact_ok {
+            &Tier::DEFAULT_LADDER
+        } else {
+            &[Tier::Progressive, Tier::GameTheoretic]
+        };
+        let outcome = select_with_ladder_exec(
+            self.instance,
+            target,
+            self.policy,
+            DegradeBudget {
+                exact_timeout: None,
+                bfs: BfsBudget {
+                    deadline: Some(Deadline::Ticks(grant)),
+                    ..BfsBudget::default()
+                },
+            },
+            ladder,
+            &self.core,
+            &LadderExec {
+                workers: self.cfg.bfs_workers,
+                cache: None,
+            },
+        );
+
+        // Price the call and advance the virtual clock.
+        let cost = match &outcome {
+            Ok(sel) if sel.tier == Tier::ExactBfs => {
+                sel.selection.stats.candidates_examined.saturating_mul(tpc)
+            }
+            Ok(sel) => {
+                let burned = if exact_ok
+                    && sel
+                        .attempts
+                        .iter()
+                        .any(|(t, e)| *t == Tier::ExactBfs && *e == SelectError::BudgetExhausted)
+                {
+                    grant.saturating_mul(tpc)
+                } else {
+                    0
+                };
+                burned + 1 + sel.selection.stats.diversity_checks
+            }
+            Err(_) => 1,
+        };
+        self.metrics.service.record(cost.max(1));
+        self.now += cost.max(1);
+
+        if exact_ok {
+            let fallback = match &outcome {
+                Ok(sel) => sel.tier != Tier::ExactBfs,
+                Err(SelectError::DeadlineInfeasible) => true,
+                Err(_) => false,
+            };
+            if fallback {
+                let jitter = self.rng.gen_range(0..=self.cfg.breaker.cooldown.max(4) / 4);
+                let tr = self.breaker.on_fallback(self.now, jitter);
+                self.surface(tr);
+            } else if matches!(&outcome, Ok(sel) if sel.tier == Tier::ExactBfs) {
+                let tr = self.breaker.on_exact_success();
+                self.surface(tr);
+            }
+        }
+
+        match outcome {
+            Ok(sel) => {
+                self.metrics.completed.inc();
+                self.metrics.deadline_met.inc();
+                if sel.tier != Tier::ExactBfs {
+                    self.metrics.degraded.inc();
+                }
+                Ok(sel)
+            }
+            Err(_) => {
+                self.metrics.failed.inc();
+                // Terminal selection errors surface as an infeasible
+                // deadline: the caller's budget cannot buy an answer.
+                Err(ShedReason::DeadlineInfeasible)
+            }
+        }
+    }
+
+    fn surface(&self, tr: Option<crate::breaker::Transition>) {
+        use crate::breaker::Transition;
+        let Some(tr) = tr else { return };
+        match tr {
+            Transition::Opened => self.metrics.circuit_opened.inc(),
+            Transition::HalfOpened => self.metrics.circuit_half_open.inc(),
+            Transition::Closed => self.metrics.circuit_closed.inc(),
+        }
+        self.metrics
+            .circuit_state
+            .set(self.breaker.state().gauge_value());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dams_diversity::{DiversityRequirement, HtId, TokenUniverse};
+
+    fn instance(n: u32) -> Instance {
+        Instance::fresh(TokenUniverse::new((0..n).map(HtId).collect()))
+    }
+
+    fn policy() -> SelectionPolicy {
+        SelectionPolicy::new(DiversityRequirement::new(1.0, 3))
+    }
+
+    #[test]
+    fn generous_budget_answers_exact() {
+        let inst = instance(8);
+        let registry = Registry::new();
+        let mut f = Frontend::new(&inst, policy(), FrontendConfig::default(), &registry);
+        let sel = f.select(TokenId(0), 1 << 20, false).expect("selects");
+        assert_eq!(sel.tier, Tier::ExactBfs);
+        assert_eq!(f.circuit_state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn starved_budget_is_refused_typed() {
+        let inst = instance(8);
+        let registry = Registry::new();
+        let cfg = FrontendConfig {
+            reserve_ticks: 100,
+            ..FrontendConfig::default()
+        };
+        let mut f = Frontend::new(&inst, policy(), cfg, &registry);
+        assert_eq!(
+            f.select(TokenId(0), 10, false),
+            Err(ShedReason::DeadlineInfeasible)
+        );
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("svc.shed.deadline_infeasible_total"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn repeated_fallbacks_open_the_circuit_for_exact_requirements() {
+        let inst = instance(8);
+        let registry = Registry::new();
+        let cfg = FrontendConfig {
+            reserve_ticks: 64,
+            breaker: BreakerConfig {
+                open_after: 2,
+                cooldown: 1 << 30,
+                max_cooldown: 1 << 30,
+            },
+            ..FrontendConfig::default()
+        };
+        let mut f = Frontend::new(&inst, policy(), cfg, &registry);
+        // Budget clears the reserve but grants ~0 exact candidates, so
+        // each call is a deadline fallback.
+        for _ in 0..3 {
+            let sel = f.select(TokenId(1), 70, false).expect("degrades");
+            assert_ne!(sel.tier, Tier::ExactBfs);
+        }
+        assert_eq!(f.circuit_state(), CircuitState::Open);
+        assert_eq!(
+            f.select(TokenId(1), 1 << 20, true),
+            Err(ShedReason::CircuitOpen)
+        );
+        // Non-exact callers still get degraded answers while open.
+        assert!(f.select(TokenId(1), 1 << 20, false).is_ok());
+        assert!(registry.snapshot().counter("svc.circuit.opened_total").unwrap() >= 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! `dams-svc` — the overload-robust selection service.
+//!
+//! DA-MS selection spans three cost tiers (exact BFS, Progressive,
+//! Game-theoretic), and PR 3's degrade ladder picks the best answer a
+//! *single* request's budget can buy. This crate answers the system
+//! question above it: what happens when many requests compete for
+//! bounded capacity?
+//!
+//! * [`service`] — a deterministic multi-worker discrete-event service:
+//!   bounded priority queues, typed admission-control sheds
+//!   ([`ShedReason`]), end-to-end deadline propagation (queue wait is
+//!   debited from each request's tick budget before the remainder is
+//!   granted to the solver as a virtual [`Deadline`](dams_core::Deadline)),
+//!   seeded retry/backoff and hedging for batch traffic, and chaos-style
+//!   worker stalls.
+//! * [`breaker`] — a circuit breaker around the exact tier: K
+//!   consecutive deadline-driven fallbacks open it, a jittered
+//!   exponential cooldown half-opens it for a probe.
+//! * [`retry`] — full-jitter backoff policy for shed batch requests.
+//! * [`frontend`] — a queueless synchronous facade with the same
+//!   protections, for embedding in `dams-node`'s wallet.
+//! * [`overload`] — the seeded overload harness: calibrates the tick
+//!   economy against an instance, drives open-loop arrival ramps at
+//!   multiples of capacity, and renders `BENCH_overload.json`.
+//! * [`obs`] — the `svc.*` metric family.
+//!
+//! Everything runs on a virtual tick clock from explicit seeds, so an
+//! overload scenario replays byte-identically — including across exact
+//! search thread counts (`bfs_workers`), which the property tests
+//! assert on rendered snapshots.
+
+pub mod breaker;
+pub mod frontend;
+pub mod obs;
+pub mod overload;
+pub mod retry;
+pub mod service;
+
+pub use breaker::{BreakerConfig, CircuitBreaker, CircuitState, Transition};
+pub use frontend::{Frontend, FrontendConfig};
+pub use obs::SvcMetrics;
+pub use overload::{calibrate, render_bench_json, run_overload, run_ramp, Calibration, OverloadConfig};
+pub use retry::RetryPolicy;
+pub use service::{Priority, Request, Service, ShedReason, SvcConfig, SvcReport};

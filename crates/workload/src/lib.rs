@@ -7,15 +7,19 @@
 //!   57 super RSs / 6 fresh tokens, Figure 3 output distribution);
 //! * [`sampler`] — the shared measure-1000-instances loop;
 //! * [`chainload`] — materialise a workload on the actual blockchain
-//!   substrate (mint tokens, commit ring transactions end-to-end).
+//!   substrate (mint tokens, commit ring transactions end-to-end);
+//! * [`openloop`] — deterministic open-loop arrival schedules (smooth or
+//!   bursty) for the selection service's overload experiments.
 
 pub mod chainload;
+pub mod openloop;
 pub mod simulation;
 pub mod real;
 pub mod sampler;
 pub mod synthetic;
 pub mod trace;
 
+pub use openloop::OpenLoop;
 pub use real::{monero_snapshot, output_histogram};
 pub use sampler::{measure, measure_framework, MeasuredPoint};
 pub use simulation::{simulate_batch, SimulationConfig, SimulationOutcome};

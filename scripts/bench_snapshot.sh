@@ -4,20 +4,23 @@
 # ladder, and the faulted node simulation) plus BENCH_selection.json
 # (the selection perf figure: optimized engines vs. seed references).
 #
-#   scripts/bench_snapshot.sh [OUT] [SEED] [SELECTION_OUT]
+#   scripts/bench_snapshot.sh [OUT] [SEED] [SELECTION_OUT] [OVERLOAD_OUT]
 #
 # OUT defaults to BENCH_baseline.json at the repo root; SEED to 42;
-# SELECTION_OUT to BENCH_selection.json.
+# SELECTION_OUT to BENCH_selection.json; OVERLOAD_OUT (the overload
+# service load ramp) to BENCH_overload.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_baseline.json}"
 SEED="${2:-42}"
 SELECTION_OUT="${3:-BENCH_selection.json}"
+OVERLOAD_OUT="${4:-BENCH_overload.json}"
 
 cargo build --release -q -p dams-bench --bin dams-cli
 ./target/release/dams-cli bench --out "$OUT" --seed "$SEED" \
     --selection-out "$SELECTION_OUT"
+./target/release/dams-cli serve-sim --out "$OVERLOAD_OUT" --seed "$SEED"
 
 # Well-formedness gate: the snapshot must parse as JSON and cover the
 # BFS, Progressive, Game-theoretic, and degrade-tier metric families.
@@ -64,4 +67,44 @@ for row in ("exact_bfs", "tm_g"):
         sys.exit(f"{path}: {row} speedup {speedup:.2f}x is below the 2x floor")
     print(f"{path}: {row} {speedup:.2f}x (baseline {doc[row]['baseline_ns']} ns, "
           f"optimized {doc[row]['optimized_ns']} ns)")
+EOF
+
+# Overload-ramp gate: the service bench must cover the ramp, account for
+# every offered request, shed under overload without collapsing, and
+# degrade monotonically (small slack for seed wobble).
+python3 - "$OVERLOAD_OUT" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+rows = doc.get("rows", [])
+if not rows:
+    sys.exit(f"{path} has no load-ramp rows")
+required = ["offered_load", "offered", "admitted", "completed", "goodput",
+            "shed_queue_full", "shed_deadline_infeasible", "shed_circuit_open",
+            "deadline_met_rate", "p50_latency_ticks", "p99_latency_ticks"]
+for row in rows:
+    missing = [k for k in required if k not in row]
+    if missing:
+        sys.exit(f"{path}: row {row.get('offered_load')} missing {missing}")
+    shed = (row["shed_queue_full"] + row["shed_deadline_infeasible"]
+            + row["shed_circuit_open"])
+    if row["completed"] + shed > row["offered"]:
+        sys.exit(f"{path}: accounting exceeds offered load in row {row}")
+peak = max(rows, key=lambda r: r["offered_load"])
+if peak["completed"] == 0:
+    sys.exit(f"{path}: goodput collapsed to zero at {peak['offered_load']}x")
+if peak["offered_load"] >= 2.0:
+    if (peak["shed_queue_full"] + peak["shed_deadline_infeasible"]
+            + peak["shed_circuit_open"]) == 0:
+        sys.exit(f"{path}: no sheds at {peak['offered_load']}x overload")
+lo = min(rows, key=lambda r: r["offered_load"])
+if lo["goodput"] + 0.11 < peak["goodput"]:
+    sys.exit(f"{path}: goodput not monotone over the ramp "
+             f"({lo['goodput']:.2f} at {lo['offered_load']}x vs "
+             f"{peak['goodput']:.2f} at {peak['offered_load']}x)")
+print(f"{path}: {len(rows)} load points, peak {peak['offered_load']}x "
+      f"goodput {peak['goodput']:.2f}, sheds typed and accounted")
 EOF
