@@ -9,6 +9,7 @@
 //! dams-cli run     --store-dir DIR [--blocks N] [--seed N] [--crash-after-appends N]
 //! dams-cli recover --store-dir DIR
 //! dams-cli serve-sim [--seed N] [--workers N] [--requests N] [--loads "1,2,4"] [--out BENCH_overload.json]
+//! dams-cli cluster-sim [--seed N] [--node-counts "1,3,5"] [--out BENCH_cluster.json] [--report CLUSTER_report.txt]
 //! dams-cli --faults 7 [--metrics text|json]
 //! ```
 //!
@@ -46,6 +47,15 @@
 //!   open-loop arrival ramp at each `--loads` multiple of calibrated
 //!   capacity (with injected worker stalls), then write the per-load rows
 //!   (goodput, typed sheds, latency quantiles) to `--out`.
+//! * `cluster-sim` — run the partition-tolerant replication scenario
+//!   (`dams-node`) and the sharded scale-out load harness (`dams-svc`) at
+//!   each `--node-counts` size: gossip dissemination under the default
+//!   fault model, a minority partition healed mid-run, a crash/restart
+//!   recovered from the replica's own store plus a peer WAL-tail stream,
+//!   and a late joiner bootstrapped from a checkpoint bundle (O(tail)
+//!   verification). Writes per-size rows (goodput, convergence ticks,
+//!   catch-up split) to `--out` and the full per-size convergence
+//!   reports to `--report`; exits non-zero unless every size converges.
 //! * `--faults N` — replay the scripted adversarial simulation (drop +
 //!   duplicate + reorder + delay + corrupt + partition/heal +
 //!   crash/restore through each replica's durable store) from seed N and
@@ -263,6 +273,29 @@ fn main() {
             }
             println!("wrote {out} ({} load points)", rows.len());
         }
+        "cluster-sim" => {
+            let out = get("--out").unwrap_or_else(|| "BENCH_cluster.json".into());
+            let report_out = get("--report").unwrap_or_else(|| "CLUSTER_report.txt".into());
+            let node_counts: Vec<usize> = get("--node-counts")
+                .unwrap_or_else(|| "1,3,5".into())
+                .split(',')
+                .map(|v| {
+                    v.trim()
+                        .parse()
+                        .unwrap_or_else(|_| die(&format!("bad node count {v}")))
+                })
+                .collect();
+            if node_counts.is_empty() {
+                die("--node-counts needs at least one size");
+            }
+            let requests: u64 = get("--requests").and_then(|v| v.parse().ok()).unwrap_or(96);
+            let ok = run_cluster_sim(seed, &node_counts, requests, &out, &report_out);
+            print_metrics(metrics_format);
+            if !ok {
+                std::process::exit(1);
+            }
+            return;
+        }
         "bench" => {
             let out = get("--out").unwrap_or_else(|| "BENCH_baseline.json".into());
             let selection_out = get("--selection-out")
@@ -400,6 +433,90 @@ fn replay_faults(seed: u64) -> bool {
     report.converged && report.batch_consensus
 }
 
+/// Run the replication scenario and the sharded load harness at each
+/// cluster size, write `BENCH_cluster.json` + the convergence report
+/// file, and return whether every size converged.
+fn run_cluster_sim(
+    seed: u64,
+    node_counts: &[usize],
+    requests: u64,
+    out: &str,
+    report_out: &str,
+) -> bool {
+    let mut rows = Vec::new();
+    let mut report_text = String::new();
+    let mut all_ok = true;
+    for &nodes in node_counts {
+        let scenario = match dams_node::run_cluster_scenario(seed, nodes) {
+            Ok(r) => r,
+            Err(e) => die(&format!("cluster scenario ({nodes} nodes) failed: {e}")),
+        };
+        let base = dams_svc::OverloadConfig {
+            seed,
+            requests,
+            load: 4.0,
+            ..dams_svc::OverloadConfig::default()
+        };
+        let load = dams_svc::run_cluster_overload(&base, nodes);
+        println!(
+            "{nodes} nodes: {} | goodput {:.2} ({}/{} completed) | height {} | \
+             catch-up {}+{} blocks (prefix+tail)",
+            if scenario.ok() { "CONVERGED" } else { "DIVERGED" },
+            load.goodput(),
+            load.completed,
+            load.offered,
+            scenario.height,
+            scenario.joiner.map_or(0, |j| j.prefix_adopted),
+            scenario.joiner.map_or(0, |j| j.tail_verified),
+        );
+        report_text.push_str(&format!("=== {nodes} nodes (seed {seed}) ===\n"));
+        report_text.push_str(&scenario.render());
+        report_text.push('\n');
+        all_ok &= scenario.ok();
+        rows.push((nodes, scenario, load));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"cluster\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"requests\": {requests},\n"));
+    json.push_str("  \"offered_load\": 4.00,\n");
+    json.push_str("  \"rows\": [\n");
+    for (i, (nodes, scenario, load)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"nodes\": {nodes}, \"goodput\": {:.4}, \"offered\": {}, \
+             \"completed\": {}, \"shed\": {}, \"convergence_ticks\": {}, \
+             \"height\": {}, \"catchup_prefix_blocks\": {}, \
+             \"catchup_tail_blocks\": {}, \"restart_tail_blocks\": {}, \
+             \"blocks_served\": {}, \"converged\": {}}}{}\n",
+            load.goodput(),
+            load.offered,
+            load.completed,
+            load.shed,
+            scenario
+                .ticks
+                .map_or_else(|| "null".into(), |t| t.to_string()),
+            scenario.height,
+            scenario.joiner.map_or(0, |j| j.prefix_adopted),
+            scenario.joiner.map_or(0, |j| j.tail_verified),
+            scenario.restart.map_or(0, |(_, applied)| applied),
+            scenario.blocks_served,
+            scenario.ok(),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(out, &json) {
+        die(&format!("cannot write {out}: {e}"));
+    }
+    if let Err(e) = std::fs::write(report_out, &report_text) {
+        die(&format!("cannot write {report_out}: {e}"));
+    }
+    println!("wrote {out} ({} cluster sizes) and {report_out}", rows.len());
+    all_ok
+}
+
 fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
@@ -524,6 +641,7 @@ fn usage() -> ! {
          \x20      dams-cli run --store-dir DIR [--blocks N] [--seed N] [--crash-after-appends N]\n\
          \x20      dams-cli recover --store-dir DIR   replay checkpoint + WAL, print recovery report\n\
          \x20      dams-cli serve-sim [--seed N] [--workers N] [--requests N] [--loads \"1,2,4\"] [--out FILE]\n\
+         \x20      dams-cli cluster-sim [--seed N] [--node-counts \"1,3,5\"] [--out FILE] [--report FILE]\n\
          \x20      dams-cli --faults <seed>   replay a faulted node simulation"
     );
     std::process::exit(2);

@@ -29,6 +29,9 @@ pub enum NodeError {
     /// The durable store failed — the inner error carries the byte
     /// offset / crc context a recovery report needs.
     Store(StoreError),
+    /// A catch-up frame failed authentication or was structurally
+    /// malformed; the sync attempt is abandoned, never partially applied.
+    SyncRejected { reason: &'static str },
 }
 
 impl std::fmt::Display for NodeError {
@@ -47,6 +50,9 @@ impl std::fmt::Display for NodeError {
                 write!(f, "snapshot block {index} failed verified replay: {cause}")
             }
             NodeError::Store(e) => write!(f, "durable store failed: {e}"),
+            NodeError::SyncRejected { reason } => {
+                write!(f, "catch-up frame rejected: {reason}")
+            }
         }
     }
 }
@@ -100,6 +106,9 @@ mod tests {
                 got_crc: 2,
             }
             .into(),
+            NodeError::SyncRejected {
+                reason: "bundle digest mismatch",
+            },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

@@ -9,6 +9,14 @@
 //! byte of which message was flipped — replays exactly from one `u64`
 //! seed.
 //!
+//! The fault gauntlet itself lives in [`FaultChannel`], a transport that
+//! knows nothing about blocks: raw frames go in, `(dest, bytes)` pairs
+//! come out when due. [`FaultyBus`] wires it to block announcements;
+//! [`crate::gossip::Cluster`] runs its richer typed gossip protocol
+//! (push announcements, tip anti-entropy, pull range repair) over the
+//! very same channel, so cluster scenarios inherit the identical fault
+//! model and replay from one seed.
+//!
 //! Recovery relies on the node-layer robustness machinery: bounded
 //! inboxes and orphan pools, TTL eviction, exponential-backoff parent
 //! requests, and periodic anti-entropy tip announcements. The claim the
@@ -112,7 +120,7 @@ struct InFlight {
 /// use, and what makes *every* single-byte corruption detectable (the
 /// header hash covers the timestamp, which block validation alone cannot
 /// cross-check).
-fn frame_block(block: &Block) -> Vec<u8> {
+pub(crate) fn frame_block(block: &Block) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&block.hash());
     out.extend_from_slice(&block_to_bytes(block));
@@ -120,7 +128,7 @@ fn frame_block(block: &Block) -> Vec<u8> {
 }
 
 /// Decode and authenticate a frame. `None` for anything malformed.
-fn unframe_block(group: &SchnorrGroup, frame: &[u8]) -> Option<Block> {
+pub(crate) fn unframe_block(group: &SchnorrGroup, frame: &[u8]) -> Option<Block> {
     if frame.len() < 32 {
         return None;
     }
@@ -129,17 +137,166 @@ fn unframe_block(group: &SchnorrGroup, frame: &[u8]) -> Option<Block> {
     (block.hash().as_slice() == id).then_some(block)
 }
 
-/// The fault-injecting bus.
-pub struct FaultyBus {
-    pub nodes: Vec<SimNode>,
-    group: SchnorrGroup,
+/// The seeded fault gauntlet as a reusable transport.
+///
+/// Every frame handed to [`FaultChannel::send`] runs the full adversary:
+/// duplication, drops, single-byte corruption, delivery delay, and (on
+/// [`FaultChannel::advance`]) same-tick reordering. Endpoints can be
+/// split into partition components; sends across the split are
+/// suppressed and counted. All randomness comes from one seeded PRNG,
+/// exposed via [`FaultChannel::rng_mut`] so a scenario's other draws
+/// (key material, shuffles) share the stream and the whole run replays
+/// from a single `u64`.
+pub struct FaultChannel {
     cfg: FaultConfig,
     rng: StdRng,
     in_flight: Vec<InFlight>,
-    /// Partition component id per node; equal ids can talk.
+    /// Partition component id per endpoint; equal ids can talk.
     partition: Vec<usize>,
     tick: u64,
     pub stats: FaultStats,
+}
+
+impl FaultChannel {
+    /// A channel between `endpoints` peers whose every fault decision
+    /// derives from `seed`.
+    pub fn new(endpoints: usize, seed: u64, cfg: FaultConfig) -> Self {
+        FaultChannel {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            in_flight: Vec::new(),
+            partition: vec![0; endpoints],
+            tick: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Number of endpoints the channel connects.
+    pub fn endpoints(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// The channel's seeded PRNG. Callers draw scenario randomness (key
+    /// material, delivery shuffles) from here so one seed replays the
+    /// entire run.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Split the network: endpoints listed in `isolated` form one
+    /// component, everyone else the other. Unknown ids yield a typed
+    /// error.
+    pub fn partition(&mut self, isolated: &[usize]) -> Result<(), NodeError> {
+        if let Some(&bad) = isolated.iter().find(|&&i| i >= self.partition.len()) {
+            return Err(NodeError::UnknownPeer(bad));
+        }
+        for (i, comp) in self.partition.iter_mut().enumerate() {
+            *comp = usize::from(isolated.contains(&i));
+        }
+        Ok(())
+    }
+
+    /// Heal all partitions: every endpoint can talk to every other again.
+    pub fn heal(&mut self) {
+        self.partition.fill(0);
+    }
+
+    pub fn reachable(&self, a: usize, b: usize) -> bool {
+        self.partition[a] == self.partition[b]
+    }
+
+    /// Push one frame through the fault gauntlet toward `dest`.
+    pub fn send(&mut self, dest: usize, bytes: Vec<u8>) {
+        self.stats.sent += 1;
+        NodeMetrics::global().bus_sent.inc();
+        if self.rng.gen_bool(self.cfg.dup_prob.clamp(0.0, 1.0)) {
+            self.stats.duplicated += 1;
+            NodeMetrics::global().bus_duplicated.inc();
+            let copy = bytes.clone();
+            self.enqueue_copy(dest, copy);
+        }
+        self.enqueue_copy(dest, bytes);
+    }
+
+    /// [`FaultChannel::send`] honouring the partition: a frame across the
+    /// split is suppressed and counted. Returns whether the frame entered
+    /// the channel.
+    pub fn send_reachable(&mut self, src: usize, dest: usize, bytes: Vec<u8>) -> bool {
+        if !self.reachable(src, dest) {
+            self.stats.partition_blocked += 1;
+            NodeMetrics::global().bus_partition_blocked.inc();
+            return false;
+        }
+        self.send(dest, bytes);
+        true
+    }
+
+    fn enqueue_copy(&mut self, dest: usize, mut bytes: Vec<u8>) {
+        let metrics = NodeMetrics::global();
+        if self.rng.gen_bool(self.cfg.drop_prob.clamp(0.0, 1.0)) {
+            self.stats.dropped += 1;
+            metrics.bus_dropped.inc();
+            return;
+        }
+        if !bytes.is_empty() && self.rng.gen_bool(self.cfg.corrupt_prob.clamp(0.0, 1.0)) {
+            let idx = self.rng.gen_range(0..bytes.len());
+            bytes[idx] ^= 1u8 << self.rng.gen_range(0..8u32);
+            self.stats.corrupted += 1;
+            metrics.bus_corrupted.inc();
+        }
+        let due = if self.cfg.max_delay > 0
+            && self.rng.gen_bool(self.cfg.delay_prob.clamp(0.0, 1.0))
+        {
+            self.stats.delayed += 1;
+            metrics.bus_delayed.inc();
+            self.tick + self.rng.gen_range(1..=self.cfg.max_delay)
+        } else {
+            self.tick
+        };
+        self.in_flight.push(InFlight { dest, bytes, due });
+    }
+
+    /// Advance one tick and collect every frame due for delivery,
+    /// shuffled when reordering is on.
+    pub fn advance(&mut self) -> Vec<(usize, Vec<u8>)> {
+        self.tick += 1;
+        let mut due: Vec<InFlight> = Vec::new();
+        let mut waiting: Vec<InFlight> = Vec::new();
+        for m in self.in_flight.drain(..) {
+            if m.due <= self.tick {
+                due.push(m);
+            } else {
+                waiting.push(m);
+            }
+        }
+        self.in_flight = waiting;
+        if self.cfg.reorder {
+            due.shuffle(&mut self.rng);
+        }
+        due.into_iter().map(|m| (m.dest, m.bytes)).collect()
+    }
+
+    /// Drop every in-flight frame addressed to `dest` — it crashed, and
+    /// traffic aimed at it dies with it.
+    pub fn drop_addressed_to(&mut self, dest: usize) {
+        self.in_flight.retain(|m| m.dest != dest);
+    }
+}
+
+/// The fault-injecting bus: block announcements over a [`FaultChannel`].
+pub struct FaultyBus {
+    pub nodes: Vec<SimNode>,
+    group: SchnorrGroup,
+    channel: FaultChannel,
 }
 
 impl FaultyBus {
@@ -161,17 +318,17 @@ impl FaultyBus {
                 .map(|i| SimNode::with_limits(i, group, limits))
                 .collect(),
             group,
-            cfg,
-            rng: StdRng::seed_from_u64(seed),
-            in_flight: Vec::new(),
-            partition: vec![0; count],
-            tick: 0,
-            stats: FaultStats::default(),
+            channel: FaultChannel::new(count, seed, cfg),
         }
     }
 
     pub fn tick(&self) -> u64 {
-        self.tick
+        self.channel.tick()
+    }
+
+    /// What the adversary did so far, and what the nodes survived.
+    pub fn stats(&self) -> FaultStats {
+        self.channel.stats
     }
 
     /// Attach a fresh in-memory durable store to every node that lacks
@@ -212,60 +369,16 @@ impl FaultyBus {
     /// Split the network: nodes listed in `isolated` form one component,
     /// everyone else the other. Unknown ids yield a typed error.
     pub fn partition(&mut self, isolated: &[usize]) -> Result<(), NodeError> {
-        if let Some(&bad) = isolated.iter().find(|&&i| i >= self.nodes.len()) {
-            return Err(NodeError::UnknownPeer(bad));
-        }
-        for (i, comp) in self.partition.iter_mut().enumerate() {
-            *comp = usize::from(isolated.contains(&i));
-        }
-        Ok(())
+        self.channel.partition(isolated)
     }
 
     /// Heal all partitions: every node can talk to every other again.
     pub fn heal(&mut self) {
-        self.partition.fill(0);
+        self.channel.heal();
     }
 
     fn reachable(&self, a: usize, b: usize) -> bool {
-        self.partition[a] == self.partition[b]
-    }
-
-    /// Push one message copy through the fault gauntlet.
-    fn send(&mut self, dest: usize, bytes: Vec<u8>) {
-        self.stats.sent += 1;
-        NodeMetrics::global().bus_sent.inc();
-        if self.rng.gen_bool(self.cfg.dup_prob.clamp(0.0, 1.0)) {
-            self.stats.duplicated += 1;
-            NodeMetrics::global().bus_duplicated.inc();
-            let copy = bytes.clone();
-            self.enqueue_copy(dest, copy);
-        }
-        self.enqueue_copy(dest, bytes);
-    }
-
-    fn enqueue_copy(&mut self, dest: usize, mut bytes: Vec<u8>) {
-        let metrics = NodeMetrics::global();
-        if self.rng.gen_bool(self.cfg.drop_prob.clamp(0.0, 1.0)) {
-            self.stats.dropped += 1;
-            metrics.bus_dropped.inc();
-            return;
-        }
-        if !bytes.is_empty() && self.rng.gen_bool(self.cfg.corrupt_prob.clamp(0.0, 1.0)) {
-            let idx = self.rng.gen_range(0..bytes.len());
-            bytes[idx] ^= 1u8 << self.rng.gen_range(0..8u32);
-            self.stats.corrupted += 1;
-            metrics.bus_corrupted.inc();
-        }
-        let due = if self.cfg.max_delay > 0
-            && self.rng.gen_bool(self.cfg.delay_prob.clamp(0.0, 1.0))
-        {
-            self.stats.delayed += 1;
-            metrics.bus_delayed.inc();
-            self.tick + self.rng.gen_range(1..=self.cfg.max_delay)
-        } else {
-            self.tick
-        };
-        self.in_flight.push(InFlight { dest, bytes, due });
+        self.channel.reachable(a, b)
     }
 
     /// Gossip a block from `origin` to every reachable peer, as encoded
@@ -279,12 +392,7 @@ impl FaultyBus {
             if dest == origin {
                 continue;
             }
-            if !self.reachable(origin, dest) {
-                self.stats.partition_blocked += 1;
-                NodeMetrics::global().bus_partition_blocked.inc();
-                continue;
-            }
-            self.send(dest, bytes.clone());
+            self.channel.send_reachable(origin, dest, bytes.clone());
         }
         Ok(())
     }
@@ -303,7 +411,7 @@ impl FaultyBus {
         let group = self.group;
         let outs: Vec<TokenOutput> = (0..outputs)
             .map(|_| TokenOutput {
-                owner: KeyPair::generate(&group, &mut self.rng).public,
+                owner: KeyPair::generate(&group, self.channel.rng_mut()).public,
                 amount: Amount(1),
             })
             .collect();
@@ -335,7 +443,7 @@ impl FaultyBus {
         let limits = *node.limits();
         // Any in-flight traffic addressed to the crashed node dies with it.
         if let Some(mut store) = node.take_store() {
-            self.in_flight.retain(|m| m.dest != id);
+            self.channel.drop_addressed_to(id);
             store.crash();
             let (wal, cp) = store.into_backends();
             let (revived, report) = SimNode::restore_from_store(
@@ -350,7 +458,7 @@ impl FaultyBus {
             return Ok(Some(report));
         }
         let snapshot = node.snapshot();
-        self.in_flight.retain(|m| m.dest != id);
+        self.channel.drop_addressed_to(id);
         let revived = SimNode::restore(id, self.group, limits, &snapshot)?;
         self.nodes[id] = revived;
         Ok(None)
@@ -362,37 +470,21 @@ impl FaultyBus {
     ///
     /// Returns how many blocks were appended across all nodes.
     pub fn step(&mut self) -> usize {
-        self.tick += 1;
-
-        // Deliver everything due this tick.
-        let mut due: Vec<InFlight> = Vec::new();
-        let mut waiting: Vec<InFlight> = Vec::new();
-        for m in self.in_flight.drain(..) {
-            if m.due <= self.tick {
-                due.push(m);
-            } else {
-                waiting.push(m);
-            }
-        }
-        self.in_flight = waiting;
-        if self.cfg.reorder {
-            due.shuffle(&mut self.rng);
-        }
-        for m in due {
-            match unframe_block(&self.group, &m.bytes) {
+        for (dest, bytes) in self.channel.advance() {
+            match unframe_block(&self.group, &bytes) {
                 Some(block) => {
-                    if self.nodes[m.dest]
+                    if self.nodes[dest]
                         .deliver(BlockAnnouncement { block })
                         .is_ok()
                     {
-                        self.stats.delivered += 1;
+                        self.channel.stats.delivered += 1;
                         NodeMetrics::global().bus_delivered.inc();
                     } else {
-                        self.stats.inbox_rejected += 1;
+                        self.channel.stats.inbox_rejected += 1;
                     }
                 }
                 None => {
-                    self.stats.decode_rejected += 1;
+                    self.channel.stats.decode_rejected += 1;
                     NodeMetrics::global().bus_decode_rejected.inc();
                 }
             }
@@ -415,7 +507,7 @@ impl FaultyBus {
                     .find_map(|j| self.nodes[j].serve_block(hash))
                     .map(|b| frame_block(&b));
                 if let Some(bytes) = served {
-                    self.send(i, bytes);
+                    self.channel.send(i, bytes);
                 }
             }
         }
@@ -444,13 +536,13 @@ impl FaultyBus {
     /// number of ticks consumed, or `None` if `max_ticks` elapsed without
     /// convergence.
     pub fn run_until_quiet(&mut self, max_ticks: u64) -> Option<u64> {
-        let start = self.tick;
+        let start = self.channel.tick();
         for _ in 0..max_ticks {
             self.step();
-            if self.in_flight.is_empty() && self.converged() {
-                return Some(self.tick - start);
+            if self.channel.idle() && self.converged() {
+                return Some(self.channel.tick() - start);
             }
-            if self.tick.is_multiple_of(4) {
+            if self.channel.tick().is_multiple_of(4) {
                 self.announce_tips();
             }
         }
@@ -542,7 +634,7 @@ pub fn run_faulted_simulation(seed: u64) -> FaultReport {
         tip: bus.nodes[0].tip_hash().ok(),
         height: bus.nodes[0].chain().height(),
         ticks,
-        stats: bus.stats,
+        stats: bus.stats(),
     }
 }
 
@@ -560,8 +652,8 @@ mod tests {
         assert!(bus.run_until_quiet(100).is_some());
         assert!(bus.converged());
         assert!(bus.batch_consensus(3));
-        assert_eq!(bus.stats.dropped, 0);
-        assert_eq!(bus.stats.corrupted, 0);
+        assert_eq!(bus.stats().dropped, 0);
+        assert_eq!(bus.stats().corrupted, 0);
     }
 
     #[test]
@@ -613,9 +705,9 @@ mod tests {
         // (blocks_discarded). Either way no tampered block is adopted.
         assert_eq!(bus.nodes[1].chain().height(), 1);
         assert!(
-            bus.stats.decode_rejected + bus.nodes[1].stats().blocks_discarded > 0,
+            bus.stats().decode_rejected + bus.nodes[1].stats().blocks_discarded > 0,
             "{:?}",
-            bus.stats
+            bus.stats()
         );
     }
 
@@ -626,7 +718,7 @@ mod tests {
         bus.partition(&[2]).unwrap();
         bus.mine_and_gossip(0, 1).unwrap();
         assert!(bus.run_until_quiet(50).is_none(), "cannot converge split");
-        assert!(bus.stats.partition_blocked > 0);
+        assert!(bus.stats().partition_blocked > 0);
         assert_eq!(bus.nodes[2].chain().height(), 1);
         bus.heal();
         assert!(bus.run_until_quiet(100).is_some());
@@ -649,5 +741,32 @@ mod tests {
             bus.mine_and_gossip(7, 1).unwrap_err(),
             NodeError::UnknownPeer(7)
         );
+    }
+
+    #[test]
+    fn channel_replays_and_drops_addressed_frames() {
+        let mut a = FaultChannel::new(3, 9, FaultConfig::default());
+        let mut b = FaultChannel::new(3, 9, FaultConfig::default());
+        for ch in [&mut a, &mut b] {
+            for i in 0..20 {
+                ch.send(i % 3, vec![i as u8; 8]);
+            }
+        }
+        let mut da = Vec::new();
+        let mut db = Vec::new();
+        for _ in 0..12 {
+            da.extend(a.advance());
+            db.extend(b.advance());
+        }
+        assert_eq!(da, db, "channel schedule must replay from the seed");
+        assert_eq!(a.stats, b.stats);
+
+        let mut c = FaultChannel::new(2, 1, FaultConfig::lossless());
+        c.send(0, vec![1]);
+        c.send(1, vec![2]);
+        c.drop_addressed_to(1);
+        let due = c.advance();
+        assert_eq!(due, vec![(0, vec![1])]);
+        assert!(c.idle());
     }
 }

@@ -1,0 +1,850 @@
+//! Anti-entropy gossip over the seeded fault channel: the multi-node
+//! replication layer.
+//!
+//! A [`Cluster`] is N simulated replicas plus one dormant late-joiner
+//! slot, all exchanging typed frames through one [`FaultChannel`] — so
+//! every drop, duplicate, delay, reorder, byte-flip, and partition
+//! decision the gossip traffic suffers replays exactly from a single
+//! `u64` seed. Three frame kinds, each self-authenticating:
+//!
+//! * **Block** — `kind ‖ hash ‖ bytes`, the push half: a freshly sealed
+//!   block is announced to every reachable peer (same framing as
+//!   [`crate::faults::FaultyBus`]).
+//! * **Tip** — `kind ‖ sha256 ‖ (sender ‖ height ‖ tip-hash)`, the
+//!   anti-entropy heartbeat. A receiver that is *behind* the announced
+//!   height answers with a range request; a corrupt tip frame is
+//!   rejected at the wire.
+//! * **Range request** — `kind ‖ sha256 ‖ (requester ‖ from ‖ to)`, the
+//!   pull half: the server streams the requested heights (capped per
+//!   request) back as ordinary block frames, which re-enter the fault
+//!   gauntlet like any other traffic.
+//!
+//! Recovery composes the existing machinery instead of re-inventing it:
+//! a killed replica restarts from its own durable store
+//! ([`SimNode::restore_from_store`]) and pulls the blocks it missed via
+//! [`crate::sync::catch_up_tail`]; a late joiner bootstraps from a
+//! peer-served checkpoint bundle ([`crate::sync::bootstrap_from_bundle`])
+//! and fully re-verifies only the blocks past the checkpoint. Every
+//! replica's committed (c, ℓ)-diversity evidence is re-checked after a
+//! scenario — convergence means identical tips *and* identical selection
+//! verdicts.
+
+use dams_blockchain::{block_to_bytes, Amount, BatchList, Block, TokenOutput};
+use dams_crypto::sha256::{sha256, Digest};
+use dams_crypto::{KeyPair, SchnorrGroup};
+use dams_store::{ImmutabilityCheck, MemBackend, RecoveryReport, Store, StoreConfig};
+
+use crate::error::NodeError;
+use crate::faults::{frame_block, unframe_block, FaultChannel, FaultConfig, FaultStats};
+use crate::network::{BlockAnnouncement, NodeLimits, SimNode};
+use crate::obs::NodeMetrics;
+use crate::sync::{bootstrap_from_bundle, catch_up_tail, recheck_node, serve_bundle, SyncReport};
+
+const KIND_BLOCK: u8 = 1;
+const KIND_TIP: u8 = 2;
+const KIND_RANGE: u8 = 3;
+
+/// Blocks a single range request may stream — a lagging node recovers a
+/// long gap over several tip→request→serve rounds instead of one
+/// unbounded burst.
+const MAX_RANGE_BLOCKS: usize = 16;
+
+fn u64le(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+}
+
+fn frame_typed(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(33 + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&sha256(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Strip and check the digest of a typed frame body; `None` on any
+/// length or digest mismatch.
+fn authenticate(rest: &[u8], payload_len: usize) -> Option<&[u8]> {
+    if rest.len() != 32 + payload_len {
+        return None;
+    }
+    let (digest, payload) = rest.split_at(32);
+    (sha256(payload).as_slice() == digest).then_some(payload)
+}
+
+fn frame_gossip_block(block: &Block) -> Vec<u8> {
+    let mut out = vec![KIND_BLOCK];
+    out.extend_from_slice(&frame_block(block));
+    out
+}
+
+fn frame_tip(sender: usize, height: u64, tip: Digest) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(48);
+    payload.extend_from_slice(&(sender as u64).to_le_bytes());
+    payload.extend_from_slice(&height.to_le_bytes());
+    payload.extend_from_slice(&tip);
+    frame_typed(KIND_TIP, &payload)
+}
+
+fn frame_range(requester: usize, from: u64, to: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(24);
+    payload.extend_from_slice(&(requester as u64).to_le_bytes());
+    payload.extend_from_slice(&from.to_le_bytes());
+    payload.extend_from_slice(&to.to_le_bytes());
+    frame_typed(KIND_RANGE, &payload)
+}
+
+/// What the gossip protocol itself did (the transport's own adversary
+/// accounting lives in [`FaultStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GossipStats {
+    /// Tip announcements pushed into the channel.
+    pub announcements: u64,
+    /// Range-repair requests emitted by lagging replicas.
+    pub range_requests: u64,
+    /// Blocks streamed in answer to range requests.
+    pub range_blocks_served: u64,
+    /// Frames refused by authentication or structural checks.
+    pub frames_rejected: u64,
+    /// Blocks appended across all replicas by gossip delivery.
+    pub blocks_applied: u64,
+}
+
+/// One replica slot: live, crashed-with-durable-state, or never started.
+enum Slot {
+    Live(Box<SimNode>),
+    Down {
+        wal: Box<dyn dams_store::Backend>,
+        cp: Box<dyn dams_store::Backend>,
+    },
+    Dormant,
+}
+
+/// N durable replicas plus a dormant late-joiner slot over one seeded
+/// [`FaultChannel`].
+pub struct Cluster {
+    slots: Vec<Slot>,
+    group: SchnorrGroup,
+    limits: NodeLimits,
+    channel: FaultChannel,
+    stats: GossipStats,
+}
+
+impl Cluster {
+    /// A cluster of `live` durable replicas and one extra dormant slot
+    /// (id `live`) for a late joiner. Every fault decision derives from
+    /// `seed`.
+    pub fn new(
+        live: usize,
+        group: SchnorrGroup,
+        seed: u64,
+        cfg: FaultConfig,
+    ) -> Result<Self, NodeError> {
+        Self::with_limits(live, group, seed, cfg, NodeLimits::default())
+    }
+
+    pub fn with_limits(
+        live: usize,
+        group: SchnorrGroup,
+        seed: u64,
+        cfg: FaultConfig,
+        limits: NodeLimits,
+    ) -> Result<Self, NodeError> {
+        let mut slots = Vec::with_capacity(live + 1);
+        for id in 0..live {
+            let mut node = SimNode::with_limits(id, group, limits);
+            let recovered = Store::open(
+                Box::new(MemBackend::new()),
+                Box::new(MemBackend::new()),
+                group,
+                StoreConfig::default(),
+            )?;
+            node.attach_store(recovered)?;
+            slots.push(Slot::Live(Box::new(node)));
+        }
+        slots.push(Slot::Dormant);
+        let endpoints = slots.len();
+        Ok(Cluster {
+            slots,
+            group,
+            limits,
+            channel: FaultChannel::new(endpoints, seed, cfg),
+            stats: GossipStats::default(),
+        })
+    }
+
+    /// The live replica at `id`, if any.
+    pub fn node(&self, id: usize) -> Option<&SimNode> {
+        match self.slots.get(id) {
+            Some(Slot::Live(node)) => Some(node),
+            _ => None,
+        }
+    }
+
+    /// Ids of all live replicas.
+    pub fn live_ids(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| matches!(s, Slot::Live(_)).then_some(i))
+            .collect()
+    }
+
+    pub fn gossip_stats(&self) -> GossipStats {
+        self.stats
+    }
+
+    pub fn fault_stats(&self) -> FaultStats {
+        self.channel.stats
+    }
+
+    /// Split the network (see [`FaultChannel::partition`]).
+    pub fn partition(&mut self, isolated: &[usize]) -> Result<(), NodeError> {
+        self.channel.partition(isolated)
+    }
+
+    pub fn heal(&mut self) {
+        self.channel.heal();
+    }
+
+    /// Mine one coinbase block of `outputs` fresh tokens on `origin` and
+    /// push-announce it to every reachable peer. Key material comes from
+    /// the channel's seeded stream.
+    pub fn mine_on(&mut self, origin: usize, outputs: usize) -> Result<Block, NodeError> {
+        let group = self.group;
+        let outs: Vec<TokenOutput> = (0..outputs)
+            .map(|_| TokenOutput {
+                owner: KeyPair::generate(&group, self.channel.rng_mut()).public,
+                amount: Amount(1),
+            })
+            .collect();
+        let Some(Slot::Live(node)) = self.slots.get_mut(origin) else {
+            return Err(NodeError::UnknownPeer(origin));
+        };
+        node.chain_mut().submit_coinbase(outs);
+        let block = node.seal_block()?;
+        let frame = frame_gossip_block(&block);
+        for dest in 0..self.slots.len() {
+            if dest != origin {
+                self.channel.send_reachable(origin, dest, frame.clone());
+            }
+        }
+        Ok(block)
+    }
+
+    /// Anti-entropy round: every live replica announces its tip to every
+    /// reachable peer. Lagging receivers answer with range requests.
+    pub fn announce_tips(&mut self) {
+        let metrics = NodeMetrics::global();
+        let mut frames = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Slot::Live(node) = slot else { continue };
+            let Ok(tip) = node.tip_hash() else { continue };
+            let height = node.chain().height() as u64;
+            if height <= 1 {
+                continue;
+            }
+            frames.push((i, frame_tip(i, height, tip)));
+        }
+        for (src, frame) in frames {
+            for dest in 0..self.slots.len() {
+                if dest == src {
+                    continue;
+                }
+                if self.channel.send_reachable(src, dest, frame.clone()) {
+                    self.stats.announcements += 1;
+                    metrics.gossip_announcements.inc();
+                    dams_obs::global()
+                        .counter_labeled(
+                            "node.gossip.announcements_total",
+                            "node",
+                            &src.to_string(),
+                        )
+                        .inc();
+                }
+            }
+        }
+    }
+
+    /// Advance one tick: deliver due frames, dispatch by kind, process
+    /// every inbox, and route parent requests through the same channel.
+    /// Returns how many blocks were appended across all replicas.
+    pub fn step(&mut self) -> usize {
+        let group = self.group;
+        let metrics = NodeMetrics::global();
+        let frames = self.channel.advance();
+        // Responses generated while dispatching (range requests, served
+        // ranges) are collected and sent after the borrow of the slot
+        // table ends; they re-enter the fault gauntlet like any frame.
+        let mut outgoing: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+        {
+            let slots = &mut self.slots;
+            let stats = &mut self.stats;
+            let chan_stats = &mut self.channel.stats;
+            let n = slots.len();
+            for (dest, bytes) in frames {
+                let Some(Slot::Live(node)) = slots.get_mut(dest) else {
+                    // Frames addressed to a dead or dormant slot vanish,
+                    // like packets to a powered-off host.
+                    continue;
+                };
+                let mut reject = false;
+                match bytes.split_first() {
+                    Some((&KIND_BLOCK, rest)) => match unframe_block(&group, rest) {
+                        Some(block) => {
+                            if node.deliver(BlockAnnouncement { block }).is_ok() {
+                                chan_stats.delivered += 1;
+                                metrics.bus_delivered.inc();
+                                dams_obs::global()
+                                    .counter_labeled(
+                                        "node.gossip.delivered_total",
+                                        "node",
+                                        &dest.to_string(),
+                                    )
+                                    .inc();
+                            } else {
+                                chan_stats.inbox_rejected += 1;
+                            }
+                        }
+                        None => reject = true,
+                    },
+                    Some((&KIND_TIP, rest)) => match authenticate(rest, 48) {
+                        Some(payload) => {
+                            let sender = u64le(&payload[..8]) as usize;
+                            let height = u64le(&payload[8..16]);
+                            let local = node.chain().height() as u64;
+                            if sender < n && sender != dest && local < height {
+                                outgoing.push((dest, sender, frame_range(dest, local, height)));
+                                stats.range_requests += 1;
+                                metrics.gossip_range_requests.inc();
+                            }
+                        }
+                        None => reject = true,
+                    },
+                    Some((&KIND_RANGE, rest)) => match authenticate(rest, 24) {
+                        Some(payload) => {
+                            let requester = u64le(&payload[..8]) as usize;
+                            let from = u64le(&payload[8..16]) as usize;
+                            let to = u64le(&payload[16..24]) as usize;
+                            if requester < n && requester != dest {
+                                let blocks = node.serve_range(from, to, MAX_RANGE_BLOCKS);
+                                stats.range_blocks_served += blocks.len() as u64;
+                                metrics
+                                    .gossip_range_blocks_served
+                                    .add(blocks.len() as u64);
+                                for b in &blocks {
+                                    outgoing.push((dest, requester, frame_gossip_block(b)));
+                                }
+                            }
+                        }
+                        None => reject = true,
+                    },
+                    _ => reject = true,
+                }
+                if reject {
+                    chan_stats.decode_rejected += 1;
+                    stats.frames_rejected += 1;
+                    metrics.bus_decode_rejected.inc();
+                    metrics.gossip_frames_rejected.inc();
+                }
+            }
+        }
+        for (src, dest, frame) in outgoing {
+            self.channel.send_reachable(src, dest, frame);
+        }
+
+        let mut appended = 0;
+        for slot in &mut self.slots {
+            if let Slot::Live(node) = slot {
+                appended += node.process_inbox();
+            }
+        }
+        self.stats.blocks_applied += appended as u64;
+
+        // Parent-request protocol: the first reachable live peer that has
+        // the block serves it, through the same faulty channel.
+        for i in 0..self.slots.len() {
+            let requests = match &mut self.slots[i] {
+                Slot::Live(node) => node.parent_requests(),
+                _ => continue,
+            };
+            for hash in requests {
+                let served = (0..self.slots.len())
+                    .filter(|&j| j != i && self.channel.reachable(i, j))
+                    .find_map(|j| match &self.slots[j] {
+                        Slot::Live(peer) => peer.serve_block(hash),
+                        _ => None,
+                    });
+                if let Some(block) = served {
+                    self.channel.send(i, frame_gossip_block(&block));
+                }
+            }
+        }
+        appended
+    }
+
+    /// Crash replica `id` mid-run: volatile state dies, in-flight traffic
+    /// to it dies, but its durable store survives for [`Cluster::restart`].
+    pub fn kill(&mut self, id: usize) -> Result<(), NodeError> {
+        let slot = self.slots.get_mut(id).ok_or(NodeError::UnknownPeer(id))?;
+        let Slot::Live(node) = slot else {
+            return Err(NodeError::UnknownPeer(id));
+        };
+        let mut store = node.take_store().ok_or(NodeError::SyncRejected {
+            reason: "killed replica has no durable store",
+        })?;
+        store.crash();
+        let (wal, cp) = store.into_backends();
+        *slot = Slot::Down { wal, cp };
+        self.channel.drop_addressed_to(id);
+        Ok(())
+    }
+
+    /// Restart a killed replica: recover from its own durable store
+    /// (checkpoint + WAL tail, verified replay), then stream the blocks
+    /// it missed from the first reachable live peer. Returns the local
+    /// recovery report and how many blocks the tail stream applied.
+    pub fn restart(&mut self, id: usize) -> Result<(RecoveryReport, u64), NodeError> {
+        let slot = self.slots.get_mut(id).ok_or(NodeError::UnknownPeer(id))?;
+        if !matches!(slot, Slot::Down { .. }) {
+            return Err(NodeError::UnknownPeer(id));
+        }
+        let Slot::Down { wal, cp } = std::mem::replace(slot, Slot::Dormant) else {
+            unreachable!("matched Down above");
+        };
+        let (mut node, report) =
+            SimNode::restore_from_store(id, self.group, self.limits, wal, cp, StoreConfig::default())?;
+        let mut applied = 0;
+        for peer_id in 0..self.slots.len() {
+            if peer_id == id || !self.channel.reachable(id, peer_id) {
+                continue;
+            }
+            if let Slot::Live(peer) = &mut self.slots[peer_id] {
+                if peer.has_store() {
+                    applied = catch_up_tail(&mut node, peer)?;
+                    break;
+                }
+            }
+        }
+        self.slots[id] = Slot::Live(Box::new(node));
+        Ok((report, applied))
+    }
+
+    /// Bring the dormant slot `id` online by bootstrapping it from a
+    /// bundle served by live peer `from` — checkpoint catch-up, not full
+    /// replay.
+    pub fn join(&mut self, id: usize, from: usize) -> Result<SyncReport, NodeError> {
+        if !matches!(self.slots.get(id), Some(Slot::Dormant)) {
+            return Err(NodeError::UnknownPeer(id));
+        }
+        let frame = match self.slots.get_mut(from) {
+            Some(Slot::Live(peer)) => serve_bundle(peer)?,
+            _ => return Err(NodeError::UnknownPeer(from)),
+        };
+        let (node, report) = bootstrap_from_bundle(id, self.group, self.limits, &frame)?;
+        self.slots[id] = Slot::Live(Box::new(node));
+        Ok(report)
+    }
+
+    /// Drive the cluster until every live replica converges and the
+    /// channel drains, re-announcing tips every few ticks. Returns ticks
+    /// consumed, or `None` if `max_ticks` elapsed without convergence.
+    pub fn run_until_converged(&mut self, max_ticks: u64) -> Option<u64> {
+        let start = self.channel.tick();
+        for _ in 0..max_ticks {
+            self.step();
+            if self.channel.idle() && self.converged() {
+                return Some(self.channel.tick() - start);
+            }
+            if self.channel.tick().is_multiple_of(4) {
+                self.announce_tips();
+            }
+        }
+        None
+    }
+
+    /// Whether all live replicas share byte-identical tip blocks.
+    pub fn converged(&self) -> bool {
+        let mut tips: Vec<Vec<u8>> = Vec::new();
+        for slot in &self.slots {
+            if let Slot::Live(node) = slot {
+                match node.chain().blocks().last() {
+                    Some(tip) => tips.push(block_to_bytes(tip)),
+                    None => return false,
+                }
+            }
+        }
+        !tips.is_empty() && tips.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Whether all live replicas derive identical batch lists at λ.
+    pub fn batch_consensus(&self, lambda: usize) -> bool {
+        let lists: Vec<BatchList> = self
+            .slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Live(node) => Some(BatchList::build(node.chain(), lambda)),
+                _ => None,
+            })
+            .collect();
+        lists.windows(2).all(|w| w[0].batches() == w[1].batches())
+    }
+
+    /// Re-verify every live replica's committed (c, ℓ)-diversity evidence
+    /// and require identical, violation-free verdicts across the cluster.
+    pub fn immutability_consensus(&self) -> bool {
+        let checks: Vec<ImmutabilityCheck> = self
+            .slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Live(node) => Some(recheck_node(node)),
+                _ => None,
+            })
+            .collect();
+        checks.iter().all(|c| c.violations.is_empty())
+            && checks.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Total blocks served to peers by all live replicas' stores.
+    pub fn blocks_served_total(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Live(node) => node.store().map(Store::blocks_served),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// Outcome of one scripted cluster scenario (see
+/// [`run_cluster_scenario`]).
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    pub seed: u64,
+    /// Replicas the scenario started with (the late joiner is extra).
+    pub nodes: usize,
+    /// Live replicas at the end (includes the joiner).
+    pub live: usize,
+    /// All live replicas ended on byte-identical tips.
+    pub converged: bool,
+    /// All live replicas derive the same batch list at the run's λ.
+    pub batch_consensus: bool,
+    /// All live replicas hold identical, violation-free (c, ℓ) verdicts.
+    pub immutability_ok: bool,
+    /// Final chain height of node 0 (including genesis).
+    pub height: usize,
+    /// Ticks the run took to converge, `None` when it hit the budget.
+    pub ticks: Option<u64>,
+    /// Crash/restart phase: (recovery was clean, blocks the tail stream
+    /// applied). `None` when the scenario had no kill phase.
+    pub restart: Option<(bool, u64)>,
+    /// Late-joiner bootstrap split (checkpoint prefix vs verified tail).
+    pub joiner: Option<SyncReport>,
+    /// Blocks served to peers across all stores (bundle + tail streams).
+    pub blocks_served: u64,
+    pub fault_stats: FaultStats,
+    pub gossip_stats: GossipStats,
+}
+
+impl ClusterReport {
+    /// Whether the scenario met every convergence invariant.
+    pub fn ok(&self) -> bool {
+        self.converged
+            && self.batch_consensus
+            && self.immutability_ok
+            && self.ticks.is_some()
+            && self.restart.is_none_or(|(clean, _)| clean)
+            && self.joiner.is_none_or(|j| j.clean)
+    }
+
+    /// Deterministic multi-line rendering for `dams-cli cluster-sim`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("cluster report:\n");
+        out.push_str(&format!(
+            "  scenario: seed {}, {} nodes (+1 late joiner), height {}\n",
+            self.seed, self.nodes, self.height
+        ));
+        out.push_str(&format!(
+            "  convergence: {} live replicas, {}\n",
+            self.live,
+            match self.ticks {
+                Some(t) => format!("byte-identical tips after {t} ticks"),
+                None => "tick budget exhausted".into(),
+            }
+        ));
+        out.push_str(&format!(
+            "  batch consensus: {}\n",
+            if self.batch_consensus { "identical batch lists" } else { "DIVERGENT" }
+        ));
+        out.push_str(&format!(
+            "  immutability: {}\n",
+            if self.immutability_ok {
+                "identical violation-free (c, l) verdicts"
+            } else {
+                "VERDICTS DIVERGE OR VIOLATED"
+            }
+        ));
+        match self.restart {
+            Some((clean, applied)) => out.push_str(&format!(
+                "  crash/restart: recovered {}, tail stream applied {} blocks\n",
+                if clean { "CLEAN" } else { "FLAGGED" },
+                applied
+            )),
+            None => out.push_str("  crash/restart: not exercised\n"),
+        }
+        match &self.joiner {
+            Some(j) => out.push_str(&format!(
+                "  late joiner: {} blocks structural (checkpoint), {} fully verified (tail), \
+                 {} rings rechecked\n",
+                j.prefix_adopted, j.tail_verified, j.rings_rechecked
+            )),
+            None => out.push_str("  late joiner: not exercised\n"),
+        }
+        out.push_str(&format!(
+            "  catch-up served: {} blocks\n",
+            self.blocks_served
+        ));
+        let g = &self.gossip_stats;
+        out.push_str(&format!(
+            "  gossip: {} announcements, {} range requests, {} range blocks served, \
+             {} frames rejected, {} blocks applied\n",
+            g.announcements, g.range_requests, g.range_blocks_served, g.frames_rejected,
+            g.blocks_applied
+        ));
+        let f = &self.fault_stats;
+        out.push_str(&format!(
+            "  faults: {} sent, {} dropped, {} duplicated, {} delayed, {} corrupted, \
+             {} decode-rejected, {} partition-blocked\n",
+            f.sent, f.dropped, f.duplicated, f.delayed, f.corrupted, f.decode_rejected,
+            f.partition_blocked
+        ));
+        out.push_str(&format!(
+            "  verdict: {}\n",
+            if self.ok() { "CONVERGED" } else { "DIVERGED" }
+        ));
+        out
+    }
+}
+
+/// The scripted cluster scenario, replayable from `seed`: `nodes` durable
+/// replicas mine under the default fault model, a minority partitions
+/// away while mining continues (3+ nodes), one replica is killed mid-run
+/// and restarted from its store + a peer tail stream (2+ nodes), a late
+/// joiner bootstraps from a checkpoint bundle, and everyone must converge
+/// on byte-identical tips with identical selection verdicts.
+pub fn run_cluster_scenario(seed: u64, nodes: usize) -> Result<ClusterReport, NodeError> {
+    const LAMBDA: usize = 4;
+    let nodes = nodes.max(1);
+    let group = SchnorrGroup::default();
+    let mut cluster = Cluster::new(nodes, group, seed, FaultConfig::default())?;
+
+    // Phase 1: healthy-but-faulty mining.
+    for _ in 0..4 {
+        cluster.mine_on(0, 2)?;
+        cluster.step();
+    }
+
+    // Phase 2 (3+ nodes): partition a minority; the majority keeps mining.
+    if nodes >= 3 {
+        cluster.partition(&[nodes - 1])?;
+        for _ in 0..3 {
+            cluster.mine_on(0, 2)?;
+            cluster.step();
+        }
+        cluster.heal();
+        cluster.step();
+    }
+
+    // Phase 3 (2+ nodes): kill a replica mid-run, mine past it, restart
+    // it from its own store plus a peer-served WAL tail.
+    let restart = if nodes >= 2 {
+        cluster.kill(1)?;
+        for _ in 0..2 {
+            cluster.mine_on(0, 2)?;
+            cluster.step();
+        }
+        let (report, applied) = cluster.restart(1)?;
+        Some((report.clean(), applied))
+    } else {
+        for _ in 0..2 {
+            cluster.mine_on(0, 2)?;
+            cluster.step();
+        }
+        None
+    };
+
+    // Phase 4: one more block, then the late joiner bootstraps from a
+    // checkpoint bundle served by node 0.
+    cluster.mine_on(0, 2)?;
+    cluster.step();
+    let joiner = cluster.join(nodes, 0)?;
+
+    let ticks = cluster.run_until_converged(800);
+    let height = cluster
+        .node(0)
+        .map(|n| n.chain().height())
+        .unwrap_or_default();
+    Ok(ClusterReport {
+        seed,
+        nodes,
+        live: cluster.live_ids().len(),
+        converged: cluster.converged(),
+        batch_consensus: cluster.batch_consensus(LAMBDA),
+        immutability_ok: cluster.immutability_consensus(),
+        height,
+        ticks,
+        restart,
+        joiner: Some(joiner),
+        blocks_served: cluster.blocks_served_total(),
+        fault_stats: cluster.fault_stats(),
+        gossip_stats: cluster.gossip_stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_cluster_converges_via_push_gossip() {
+        let group = SchnorrGroup::default();
+        let mut cluster = Cluster::new(3, group, 7, FaultConfig::lossless()).unwrap();
+        for _ in 0..3 {
+            cluster.mine_on(0, 2).unwrap();
+        }
+        assert!(cluster.run_until_converged(100).is_some());
+        assert!(cluster.converged());
+        assert!(cluster.batch_consensus(3));
+        assert!(cluster.immutability_consensus());
+        assert_eq!(cluster.live_ids(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tip_announcements_trigger_range_repair() {
+        let group = SchnorrGroup::default();
+        let mut cluster = Cluster::new(3, group, 9, FaultConfig::lossless()).unwrap();
+        // Node 2 misses all push gossip while partitioned.
+        cluster.partition(&[2]).unwrap();
+        for _ in 0..4 {
+            cluster.mine_on(0, 1).unwrap();
+            cluster.step();
+        }
+        assert_eq!(cluster.node(2).unwrap().chain().height(), 1);
+        cluster.heal();
+        // No new blocks are pushed after the heal: only anti-entropy tip
+        // announcements + pull range repair can close the gap.
+        assert!(cluster.run_until_converged(200).is_some());
+        assert!(cluster.converged());
+        let stats = cluster.gossip_stats();
+        assert!(stats.range_requests > 0, "{stats:?}");
+        assert!(stats.range_blocks_served >= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn kill_restart_recovers_from_store_and_tail_stream() {
+        let group = SchnorrGroup::default();
+        let mut cluster = Cluster::new(3, group, 11, FaultConfig::lossless()).unwrap();
+        for _ in 0..3 {
+            cluster.mine_on(0, 1).unwrap();
+            cluster.step();
+        }
+        cluster.run_until_converged(100).unwrap();
+        cluster.kill(1).unwrap();
+        assert_eq!(cluster.live_ids(), vec![0, 2]);
+        for _ in 0..2 {
+            cluster.mine_on(0, 1).unwrap();
+            cluster.step();
+        }
+        let (report, applied) = cluster.restart(1).unwrap();
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(
+            report.height, 3,
+            "local store recovers the pre-crash chain"
+        );
+        assert_eq!(applied, 2, "tail stream applies exactly the missed blocks");
+        assert!(cluster.run_until_converged(200).is_some());
+        assert!(cluster.converged());
+    }
+
+    #[test]
+    fn late_joiner_bootstraps_o_tail() {
+        let group = SchnorrGroup::default();
+        let mut cluster = Cluster::new(2, group, 13, FaultConfig::lossless()).unwrap();
+        for _ in 0..6 {
+            cluster.mine_on(0, 1).unwrap();
+            cluster.step();
+        }
+        cluster.run_until_converged(100).unwrap();
+        let report = cluster.join(2, 0).unwrap();
+        assert!(report.clean, "{report:?}");
+        assert_eq!(report.height, 6);
+        assert!(
+            report.tail_verified <= StoreConfig::default().checkpoint_interval,
+            "O(tail) violated: {report:?}"
+        );
+        assert!(report.prefix_adopted >= 4, "{report:?}");
+        assert!(cluster.run_until_converged(100).is_some());
+        assert_eq!(cluster.live_ids(), vec![0, 1, 2]);
+        // Joining twice is a typed error, not a double-spawn.
+        assert!(cluster.join(2, 0).is_err());
+    }
+
+    #[test]
+    fn scripted_scenario_replays_identically() {
+        let a = run_cluster_scenario(42, 3).unwrap();
+        let b = run_cluster_scenario(42, 3).unwrap();
+        assert_eq!(a.fault_stats, b.fault_stats);
+        assert_eq!(a.gossip_stats, b.gossip_stats);
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.render(), b.render(), "render must be deterministic");
+    }
+
+    #[test]
+    fn scripted_scenario_converges_at_all_bench_sizes() {
+        for nodes in [1, 3, 5] {
+            let report = run_cluster_scenario(1234, nodes).unwrap();
+            assert!(report.ok(), "nodes {nodes}: {}", report.render());
+            let expected_height = if nodes >= 3 { 11 } else { 8 };
+            assert_eq!(report.height, expected_height, "nodes {nodes}");
+            if let Some(j) = report.joiner {
+                assert!(
+                    j.tail_verified <= StoreConfig::default().checkpoint_interval,
+                    "nodes {nodes}: O(tail) violated: {j:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_never_reach_a_chain() {
+        let group = SchnorrGroup::default();
+        let cfg = FaultConfig {
+            corrupt_prob: 1.0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 0,
+            reorder: false,
+        };
+        let mut cluster = Cluster::new(2, group, 5, cfg).unwrap();
+        cluster.mine_on(0, 2).unwrap();
+        for _ in 0..10 {
+            cluster.step();
+        }
+        cluster.announce_tips();
+        for _ in 0..10 {
+            cluster.step();
+        }
+        // Every frame was corrupted: block frames fail the hash or block
+        // validation, tip/range frames fail their digests. Node 1 never
+        // adopts anything.
+        assert_eq!(cluster.node(1).unwrap().chain().height(), 1);
+        let f = cluster.fault_stats();
+        let discarded = cluster.node(1).unwrap().stats().blocks_discarded;
+        assert!(
+            f.decode_rejected + discarded > 0,
+            "{f:?} discarded={discarded}"
+        );
+    }
+}

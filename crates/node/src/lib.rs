@@ -14,9 +14,11 @@
 pub mod auditor;
 pub mod error;
 pub mod faults;
+pub mod gossip;
 pub mod network;
 pub mod obs;
 pub mod report;
+pub mod sync;
 pub mod validate;
 pub mod verifier;
 pub mod wallet;
@@ -24,8 +26,12 @@ pub mod views;
 
 pub use auditor::{audit, chain_view, AuditReport, ChainView};
 pub use error::NodeError;
-pub use faults::{run_faulted_simulation, FaultConfig, FaultReport, FaultStats, FaultyBus};
+pub use faults::{
+    run_faulted_simulation, FaultChannel, FaultConfig, FaultReport, FaultStats, FaultyBus,
+};
+pub use gossip::{run_cluster_scenario, Cluster, ClusterReport, GossipStats};
 pub use network::{BlockAnnouncement, Bus, NodeLimits, NodeStats, SimNode};
+pub use sync::{bootstrap_from_bundle, catch_up_tail, recheck_node, serve_bundle, SyncReport};
 pub use obs::NodeMetrics;
 pub use report::render_report;
 pub use validate::{validate_ring, Verdict};

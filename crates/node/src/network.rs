@@ -381,8 +381,19 @@ impl SimNode {
         let ttl = self.limits.orphan_ttl;
         let tick = self.tick;
         let before = self.orphans.len();
-        self.orphans
-            .retain(|o| tick.saturating_sub(o.parked_at) <= ttl);
+        // An expired orphan whose parent is itself pooled is *live*: its
+        // ancestry arrived (possibly on the exact expiry tick) and is
+        // still being assembled, so evicting it would discard progress the
+        // pool just made. TTL only fires on orphans whose parent is
+        // nowhere in sight. Cycles cannot pin entries (block hashes form a
+        // DAG), and a truly dead chain of orphans still drains: its root's
+        // parent never appears, so the root expires, then its child, one
+        // per tick.
+        let pooled: Vec<Digest> = self.orphans.iter().map(|o| o.block.hash()).collect();
+        self.orphans.retain(|o| {
+            tick.saturating_sub(o.parked_at) <= ttl
+                || pooled.contains(&o.block.header.prev_hash)
+        });
         let expired = (before - self.orphans.len()) as u64;
         self.stats.orphans_evicted += expired;
         NodeMetrics::global().orphans_evicted.add(expired);
@@ -424,6 +435,22 @@ impl SimNode {
             .iter()
             .find(|b| b.hash() == hash)
             .cloned()
+    }
+
+    /// Serve the contiguous height range `[from, to)`, capped at `max`
+    /// blocks — the pull half of anti-entropy range repair. Heights past
+    /// the local tip are silently clipped.
+    pub fn serve_range(&self, from: usize, to: usize, max: usize) -> Vec<Block> {
+        let hi = to.min(self.chain.height()).min(from.saturating_add(max));
+        if from >= hi {
+            return Vec::new();
+        }
+        self.chain.blocks()[from..hi].to_vec()
+    }
+
+    /// Read access to the attached store (checkpoint/tail serving).
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
     }
 
     /// Number of currently parked orphans (for tests and monitoring).
@@ -683,11 +710,67 @@ mod tests {
         node.process_inbox();
         assert!(node.orphan_count() <= 3, "pool exceeded capacity");
         assert!(node.stats().orphans_evicted >= 1, "overflow must evict");
-        // Nothing ever parents these orphans: TTL clears the pool.
-        for _ in 0..4 {
+        // Nothing ever parents these orphans: TTL clears the pool. The
+        // drain cascades from the ancestry root (whose parent never
+        // appears) one orphan per tick — children with a pooled parent
+        // are exempt from TTL until that parent expires first.
+        for _ in 0..8 {
             node.process_inbox();
         }
         assert_eq!(node.orphan_count(), 0, "TTL eviction failed");
+    }
+
+    #[test]
+    fn orphan_with_parent_arriving_at_expiry_tick_is_adopted() {
+        let group = SchnorrGroup::default();
+        let limits = NodeLimits {
+            orphan_ttl: 3,
+            ..NodeLimits::default()
+        };
+        let mut bus = Bus::new(1, group);
+        let mut rng = StdRng::seed_from_u64(11);
+        let b1 = mine_one(&mut bus, &mut rng);
+        let b2 = mine_one(&mut bus, &mut rng);
+        let b3 = mine_one(&mut bus, &mut rng);
+        let mut node = SimNode::with_limits(9, group, limits);
+        // b3 parks at tick 1; with ttl=3 it survives through tick 4 and
+        // expires on tick 5.
+        node.deliver(BlockAnnouncement { block: b3 }).unwrap();
+        for _ in 0..4 {
+            node.process_inbox();
+        }
+        assert_eq!(node.orphan_count(), 1, "b3 evicted before expiry");
+        // b2 (b3's parent) arrives on the exact tick b3 expires. b2's own
+        // parent b1 is still missing, so neither can be adopted yet — but
+        // b3's ancestry is now assembling and must not be TTL-evicted.
+        node.deliver(BlockAnnouncement { block: b2 }).unwrap();
+        node.process_inbox();
+        assert_eq!(node.orphan_count(), 2, "b3 evicted at the boundary tick");
+        // Completing the ancestry adopts all three blocks.
+        node.deliver(BlockAnnouncement { block: b1 }).unwrap();
+        node.process_inbox();
+        assert_eq!(node.chain().height(), 4, "orphan chain not adopted");
+        assert_eq!(node.orphan_count(), 0);
+    }
+
+    #[test]
+    fn serve_range_clips_to_tip_and_cap() {
+        let group = SchnorrGroup::default();
+        let mut bus = Bus::new(1, group);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..5 {
+            mine_one(&mut bus, &mut rng);
+        }
+        let node = &bus.nodes[0]; // height 6 (genesis + 5)
+        let all = node.serve_range(1, 6, 100);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].header.height.0, 1);
+        let capped = node.serve_range(1, 6, 2);
+        assert_eq!(capped.len(), 2);
+        let clipped = node.serve_range(4, 50, 100);
+        assert_eq!(clipped.len(), 2, "past-tip heights must clip");
+        assert!(node.serve_range(9, 12, 8).is_empty());
+        assert!(node.serve_range(3, 3, 8).is_empty());
     }
 
     #[test]

@@ -53,6 +53,36 @@ pub struct NodeMetrics {
     /// `node.store.restore_flagged_total` — store restores whose recovery
     /// report was not clean (corruption or immutability violations).
     pub store_restore_flagged: Counter,
+    /// `node.gossip.announcements_total` — tip announcements sent by
+    /// cluster anti-entropy rounds.
+    pub gossip_announcements: Counter,
+    /// `node.gossip.range_requests_total` — pull-based range-repair
+    /// requests emitted by lagging replicas.
+    pub gossip_range_requests: Counter,
+    /// `node.gossip.range_blocks_served_total` — blocks served in answer
+    /// to range-repair requests.
+    pub gossip_range_blocks_served: Counter,
+    /// `node.gossip.frames_rejected_total` — gossip frames refused by the
+    /// authenticated-frame decoder (corruption caught at the wire).
+    pub gossip_frames_rejected: Counter,
+    /// `node.sync.bundles_served_total` — catch-up bundles served to
+    /// late joiners and restarted peers.
+    pub sync_bundles_served: Counter,
+    /// `node.sync.bootstraps_total` — replicas bootstrapped from a
+    /// peer-served bundle.
+    pub sync_bootstraps: Counter,
+    /// `node.sync.prefix_adopted_total` — checkpoint-attested blocks
+    /// adopted structurally during bundle bootstraps (the cheap part).
+    pub sync_prefix_adopted: Counter,
+    /// `node.sync.tail_verified_total` — blocks past the checkpoint fully
+    /// re-verified during bundle bootstraps (the O(tail) part).
+    pub sync_tail_verified: Counter,
+    /// `node.sync.tail_blocks_total` — blocks applied from WAL-tail
+    /// streams by crash-restarted peers catching up.
+    pub sync_tail_blocks: Counter,
+    /// `node.sync.rejected_total` — catch-up frames refused
+    /// (authentication or structural failure).
+    pub sync_rejected: Counter,
 }
 
 impl NodeMetrics {
@@ -76,6 +106,17 @@ impl NodeMetrics {
             parent_requests: registry.counter("node.parent.requests_total"),
             store_restores: registry.counter("node.store.restores_total"),
             store_restore_flagged: registry.counter("node.store.restore_flagged_total"),
+            gossip_announcements: registry.counter("node.gossip.announcements_total"),
+            gossip_range_requests: registry.counter("node.gossip.range_requests_total"),
+            gossip_range_blocks_served: registry
+                .counter("node.gossip.range_blocks_served_total"),
+            gossip_frames_rejected: registry.counter("node.gossip.frames_rejected_total"),
+            sync_bundles_served: registry.counter("node.sync.bundles_served_total"),
+            sync_bootstraps: registry.counter("node.sync.bootstraps_total"),
+            sync_prefix_adopted: registry.counter("node.sync.prefix_adopted_total"),
+            sync_tail_verified: registry.counter("node.sync.tail_verified_total"),
+            sync_tail_blocks: registry.counter("node.sync.tail_blocks_total"),
+            sync_rejected: registry.counter("node.sync.rejected_total"),
         }
     }
 

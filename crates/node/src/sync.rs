@@ -1,0 +1,337 @@
+//! Checkpoint-based catch-up: how a late joiner or crash-restarted
+//! replica reaches the cluster tip **without** fully re-verifying the
+//! whole chain.
+//!
+//! Two paths, both peer-served from the PR-4 durable store:
+//!
+//! * **Bundle bootstrap** ([`serve_bundle`] → [`bootstrap_from_bundle`])
+//!   — a peer exports its newest checkpoint plus its full WAL as one
+//!   authenticated frame. The joiner replays it through
+//!   [`dams_store::Store::open`]:
+//!   the checkpoint-attested prefix is adopted *structurally* (its
+//!   attestation — tip hash, key-image set, ring fingerprints — is
+//!   cross-checked instead), and only the blocks past the checkpoint are
+//!   fully re-verified. With checkpoints every `checkpoint_interval`
+//!   adoptions, that bounds full verification at O(tail), not O(chain).
+//! * **Tail streaming** ([`catch_up_tail`]) — a crash-restarted replica
+//!   already recovered its own durable prefix; replicas append identical
+//!   bytes for identical adoptions, so its local WAL length names the
+//!   exact byte where a peer's WAL continues. The peer streams the
+//!   missing framed records and the node applies them through its normal
+//!   verify → WAL-append → adopt path.
+//!
+//! Either way the recovered replica's *entire* chain still passes
+//! [`dams_store::recheck_immutability`] before it serves traffic: the
+//! paper's (c, ℓ)-diversity evidence is re-verified across the hand-off,
+//! so a peer cannot launder a violated claim through a checkpoint.
+//!
+//! Frames are authenticated the same way gossip frames are: a sha256 of
+//! the payload travels with it, and any mismatch is a typed
+//! [`NodeError::SyncRejected`], never a partially-applied sync.
+
+use dams_blockchain::decode_block;
+use dams_crypto::sha256::sha256;
+use dams_store::wal::{self, TailStatus, TAG_BLOCK};
+use dams_store::{group_fingerprint, CatchUpBundle, MemBackend, StoreConfig};
+
+use crate::error::NodeError;
+use crate::network::{BlockAnnouncement, NodeLimits, SimNode};
+use crate::obs::NodeMetrics;
+
+/// What a catch-up did: how much was adopted cheaply (checkpoint-attested
+/// prefix), how much was fully verified (the tail), and whether the
+/// result is clean. The O(tail) assertion of the cluster sweeps is
+/// `tail_verified <= checkpoint_interval`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Recovered tip height (genesis = 0).
+    pub height: u64,
+    /// Checkpoint-attested blocks adopted structurally.
+    pub prefix_adopted: u64,
+    /// Blocks past the checkpoint re-verified in full.
+    pub tail_verified: u64,
+    /// Committed RSs whose claimed (c, ℓ)-diversity was re-checked.
+    pub rings_rechecked: u64,
+    /// The underlying recovery found no corruption and no immutability
+    /// violations.
+    pub clean: bool,
+}
+
+/// Wire layout: `sha256(payload) ‖ payload` with
+/// `payload = cp_len u64le ‖ checkpoint ‖ wal`.
+fn encode_bundle(bundle: &CatchUpBundle) -> Vec<u8> {
+    let mut payload =
+        Vec::with_capacity(8 + bundle.checkpoint.len() + bundle.wal.len());
+    payload.extend_from_slice(&(bundle.checkpoint.len() as u64).to_le_bytes());
+    payload.extend_from_slice(&bundle.checkpoint);
+    payload.extend_from_slice(&bundle.wal);
+    let mut out = Vec::with_capacity(32 + payload.len());
+    out.extend_from_slice(&sha256(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Authenticate and split a bundle frame into `(checkpoint, wal)` images.
+fn decode_bundle(frame: &[u8]) -> Result<(Vec<u8>, Vec<u8>), NodeError> {
+    let reject = |reason| {
+        NodeMetrics::global().sync_rejected.inc();
+        Err(NodeError::SyncRejected { reason })
+    };
+    if frame.len() < 40 {
+        return reject("bundle frame shorter than digest + length prefix");
+    }
+    let (digest, payload) = frame.split_at(32);
+    if sha256(payload).as_slice() != digest {
+        return reject("bundle digest mismatch");
+    }
+    let cp_len = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")) as usize;
+    let rest = &payload[8..];
+    if cp_len > rest.len() {
+        return reject("bundle checkpoint length exceeds payload");
+    }
+    let (cp, wal) = rest.split_at(cp_len);
+    Ok((cp.to_vec(), wal.to_vec()))
+}
+
+/// Export `peer`'s durable state as one authenticated catch-up frame.
+/// Requires a durable store (there is nothing attested to serve without
+/// one). Counts the contained blocks as served on the peer's store.
+pub fn serve_bundle(peer: &mut SimNode) -> Result<Vec<u8>, NodeError> {
+    let store = peer.store_mut().ok_or(NodeError::SyncRejected {
+        reason: "serving peer has no durable store",
+    })?;
+    let bundle = store.serve_catchup()?;
+    NodeMetrics::global().sync_bundles_served.inc();
+    Ok(encode_bundle(&bundle))
+}
+
+/// Bootstrap a fresh replica from a peer-served bundle frame: verify the
+/// frame, recover through [`dams_store::Store::open`] (structural prefix + fully
+/// verified tail + whole-chain immutability recheck), and report the
+/// split. An immutability violation in the served state is a typed error
+/// — a joiner never goes live on laundered evidence.
+pub fn bootstrap_from_bundle(
+    id: usize,
+    group: dams_crypto::SchnorrGroup,
+    limits: NodeLimits,
+    frame: &[u8],
+) -> Result<(SimNode, SyncReport), NodeError> {
+    let metrics = NodeMetrics::global();
+    let (cp, wal_image) = decode_bundle(frame)?;
+    let (node, recovery) = SimNode::restore_from_store(
+        id,
+        group,
+        limits,
+        Box::new(MemBackend::from_durable(wal_image)),
+        Box::new(MemBackend::from_durable(cp)),
+        StoreConfig::default(),
+    )?;
+    let prefix = recovery
+        .checkpoint_height
+        .min(recovery.records_replayed);
+    let report = SyncReport {
+        height: recovery.height,
+        prefix_adopted: prefix,
+        tail_verified: recovery.records_replayed - prefix,
+        rings_rechecked: recovery.rings_checked,
+        clean: recovery.clean(),
+    };
+    metrics.sync_bootstraps.inc();
+    metrics.sync_prefix_adopted.add(report.prefix_adopted);
+    metrics.sync_tail_verified.add(report.tail_verified);
+    Ok((node, report))
+}
+
+/// Stream the WAL records `node` is missing from `peer` and apply them
+/// through the node's normal verify → WAL-append → adopt path. Both
+/// replicas need durable stores; identical adoptions write identical WAL
+/// bytes, so the node's own WAL length names the peer-side resume point.
+///
+/// Returns how many blocks were applied. A tail stream that fails crc
+/// framing or carries a non-block record is rejected whole.
+pub fn catch_up_tail(node: &mut SimNode, peer: &mut SimNode) -> Result<u64, NodeError> {
+    let metrics = NodeMetrics::global();
+    let from = node
+        .store()
+        .ok_or(NodeError::SyncRejected {
+            reason: "catching-up node has no durable store",
+        })?
+        .wal_len();
+    let peer_store = peer.store_mut().ok_or(NodeError::SyncRejected {
+        reason: "serving peer has no durable store",
+    })?;
+    let tail = peer_store.wal_tail(from)?;
+    if tail.is_empty() {
+        return Ok(0);
+    }
+    let reject = |reason| {
+        metrics.sync_rejected.inc();
+        Err(NodeError::SyncRejected { reason })
+    };
+    // Re-frame the stream as a well-formed WAL image so the store's
+    // scanner performs the length + crc gauntlet for us.
+    let group = *node.chain().group();
+    let mut image = wal::encode_header(group_fingerprint(&group));
+    image.extend_from_slice(&tail);
+    let Ok(outcome) = wal::scan(&image) else {
+        return reject("tail stream failed crc framing");
+    };
+    if !matches!(outcome.tail, TailStatus::Clean) {
+        return reject("tail stream ends in a torn or corrupt record");
+    }
+    let mut applied = 0u64;
+    for span in &outcome.records {
+        let payload = &image[span.payload_start..span.payload_end];
+        if payload[0] != TAG_BLOCK {
+            return reject("tail stream carries a non-block record");
+        }
+        let Ok(block) = decode_block(&group, &payload[1..]) else {
+            return reject("tail stream block failed to decode");
+        };
+        node.deliver(BlockAnnouncement { block })?;
+        applied += node.process_inbox() as u64;
+    }
+    applied += node.process_inbox() as u64;
+    metrics.sync_tail_blocks.add(applied);
+    Ok(applied)
+}
+
+/// Re-run the immutability recheck over `node`'s live chain — the
+/// convergence sweeps call this on every replica after a scenario to
+/// assert the selection verdicts survived replication.
+pub fn recheck_node(node: &SimNode) -> dams_store::ImmutabilityCheck {
+    dams_store::recheck_immutability(node.chain())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultConfig, FaultyBus};
+    use dams_crypto::SchnorrGroup;
+
+    /// A durable 2-node bus with `blocks` mined on node 0 and settled.
+    fn mined_bus(blocks: usize, seed: u64) -> FaultyBus {
+        let group = SchnorrGroup::default();
+        let mut bus = FaultyBus::new(2, group, seed, FaultConfig::lossless());
+        bus.make_durable().unwrap();
+        for _ in 0..blocks {
+            bus.mine_and_gossip(0, 2).unwrap();
+            bus.step();
+        }
+        bus.run_until_quiet(100).unwrap();
+        bus
+    }
+
+    #[test]
+    fn bundle_bootstrap_splits_prefix_and_tail() {
+        let mut bus = mined_bus(6, 3);
+        let frame = serve_bundle(&mut bus.nodes[0]).unwrap();
+        let (joiner, report) = bootstrap_from_bundle(
+            9,
+            *bus.nodes[0].chain().group(),
+            *bus.nodes[0].limits(),
+            &frame,
+        )
+        .unwrap();
+        assert!(report.clean, "{report:?}");
+        assert_eq!(report.height, 6);
+        assert_eq!(
+            report.prefix_adopted + report.tail_verified,
+            6,
+            "{report:?}"
+        );
+        // checkpoint_interval = 4 and checkpoints fire on every adoption
+        // check, so the unverified tail never exceeds the interval.
+        assert!(
+            report.tail_verified <= StoreConfig::default().checkpoint_interval,
+            "tail not O(interval): {report:?}"
+        );
+        assert!(report.prefix_adopted >= 4, "checkpoint unused: {report:?}");
+        assert_eq!(
+            joiner.tip_hash().unwrap(),
+            bus.nodes[0].tip_hash().unwrap()
+        );
+        assert!(joiner.has_store(), "joiner must come up durable");
+    }
+
+    #[test]
+    fn tampered_bundle_is_rejected_whole() {
+        let mut bus = mined_bus(3, 4);
+        let group = *bus.nodes[0].chain().group();
+        let limits = *bus.nodes[0].limits();
+        let mut frame = serve_bundle(&mut bus.nodes[0]).unwrap();
+        let mid = frame.len() / 2;
+        frame[mid] ^= 0x40;
+        let err = bootstrap_from_bundle(9, group, limits, &frame)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(err, NodeError::SyncRejected { .. }),
+            "tamper must be caught at the frame: {err:?}"
+        );
+        // Truncated frames are equally typed.
+        let err = bootstrap_from_bundle(9, group, limits, &frame[..20])
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, NodeError::SyncRejected { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn tail_stream_catches_a_lagging_replica_up() {
+        let mut bus = mined_bus(3, 5);
+        // Node 1 stops hearing gossip; node 0 mines on.
+        bus.partition(&[1]).unwrap();
+        for _ in 0..3 {
+            bus.mine_and_gossip(0, 1).unwrap();
+            bus.step();
+        }
+        let (mut lagging, mut serving) = {
+            let mut it = bus.nodes.drain(..);
+            let serving = it.next().unwrap();
+            (it.next().unwrap(), serving)
+        };
+        assert_eq!(lagging.chain().height(), 4);
+        let applied = catch_up_tail(&mut lagging, &mut serving).unwrap();
+        assert_eq!(applied, 3, "exactly the missing blocks stream");
+        assert_eq!(lagging.tip_hash().unwrap(), serving.tip_hash().unwrap());
+        assert_eq!(
+            serving.store().unwrap().blocks_served(),
+            3,
+            "served blocks must be counted on the peer"
+        );
+        // A second catch-up is a no-op, not a duplicate application.
+        assert_eq!(catch_up_tail(&mut lagging, &mut serving).unwrap(), 0);
+        assert_eq!(lagging.chain().height(), 7);
+    }
+
+    #[test]
+    fn corrupted_tail_stream_is_rejected_whole() {
+        let mut bus = mined_bus(2, 6);
+        bus.partition(&[1]).unwrap();
+        bus.mine_and_gossip(0, 1).unwrap();
+        bus.step();
+        let (lagging, mut serving) = {
+            let mut it = bus.nodes.drain(..);
+            let serving = it.next().unwrap();
+            (it.next().unwrap(), serving)
+        };
+        let before = lagging.chain().height();
+        // Corrupt the stream by lying about the resume point: an offset
+        // off a record boundary yields an empty stream (no torn frames),
+        // and a node-side corrupted image is refused by the crc gauntlet.
+        let from = lagging.store().unwrap().wal_len();
+        let mut tail = serving.store_mut().unwrap().wal_tail(from).unwrap();
+        assert!(!tail.is_empty());
+        let mid = tail.len() / 2;
+        tail[mid] ^= 0x10;
+        let group = *lagging.chain().group();
+        let mut image = wal::encode_header(group_fingerprint(&group));
+        image.extend_from_slice(&tail);
+        let rejected = match wal::scan(&image) {
+            Err(_) => true,
+            Ok(outcome) => !matches!(outcome.tail, TailStatus::Clean),
+        };
+        assert!(rejected, "flipped byte must not scan clean");
+        assert_eq!(lagging.chain().height(), before, "nothing applied");
+    }
+}

@@ -78,6 +78,15 @@ impl Registry {
         }
     }
 
+    /// Get or register a counter under `base` qualified by one label,
+    /// rendered in the conventional `base{key="value"}` form. Labeled
+    /// series sort lexically inside the snapshot like any other name, so
+    /// per-node families (`node.gossip.delivered_total{node="3"}`) stay
+    /// byte-identical across runs.
+    pub fn counter_labeled(&self, base: &str, key: &str, value: &str) -> Counter {
+        self.counter(&format!("{base}{{{key}=\"{value}\"}}"))
+    }
+
     /// Capture the current value of every registered metric, sorted by
     /// name (the map is a `BTreeMap`, so order is stable by construction).
     pub fn snapshot(&self) -> Snapshot {
@@ -157,6 +166,26 @@ mod tests {
         let snap = r.snapshot();
         let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, vec!["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct_stable_series() {
+        let r = Registry::new();
+        r.counter_labeled("node.gossip.delivered_total", "node", "1").add(2);
+        r.counter_labeled("node.gossip.delivered_total", "node", "0").add(7);
+        assert_eq!(
+            r.counter_labeled("node.gossip.delivered_total", "node", "1").get(),
+            2
+        );
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "node.gossip.delivered_total{node=\"0\"}",
+                "node.gossip.delivered_total{node=\"1\"}",
+            ]
+        );
     }
 
     #[test]

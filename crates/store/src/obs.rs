@@ -32,6 +32,9 @@ pub struct StoreMetrics {
     /// `store.checkpoint.crc_rejects_total` — checkpoints refused by the
     /// magic/length/crc gauntlet (recovery fell back to full replay).
     pub checkpoint_crc_rejects: Counter,
+    /// `store.checkpoint.served_total` — blocks served to peers through
+    /// catch-up bundles and WAL-tail streams.
+    pub checkpoint_served: Counter,
     /// `store.recovery.runs_total` — recovery attempts.
     pub recovery_runs: Counter,
     /// `store.recovery.corruption_detected_total` — recoveries that found
@@ -53,6 +56,7 @@ impl StoreMetrics {
             checkpoint_written: registry.counter("store.checkpoint.written_total"),
             checkpoint_loaded: registry.counter("store.checkpoint.loaded_total"),
             checkpoint_crc_rejects: registry.counter("store.checkpoint.crc_rejects_total"),
+            checkpoint_served: registry.counter("store.checkpoint.served_total"),
             recovery_runs: registry.counter("store.recovery.runs_total"),
             recovery_corruption: registry.counter("store.recovery.corruption_detected_total"),
             recovery_wall: registry.histogram("store.recovery.wall_ns", Unit::Nanos),

@@ -89,6 +89,11 @@ pub struct RecoveryReport {
     pub height: u64,
     /// Recovered tip hash.
     pub tip: [u8; 32],
+    /// Blocks this store served to peers through catch-up bundles and
+    /// WAL-tail streams (a runtime counter, stamped into the report by
+    /// the replication layer; 0 for a store that never served sync
+    /// traffic).
+    pub blocks_served_to_peers: u64,
 }
 
 impl RecoveryReport {
@@ -133,6 +138,10 @@ impl RecoveryReport {
             }
         ));
         out.push_str(&format!(
+            "  served to peers: {} blocks\n",
+            self.blocks_served_to_peers
+        ));
+        out.push_str(&format!(
             "  recovered: height {}, tip {}\n  verdict: {}\n",
             self.height,
             hex(&self.tip),
@@ -167,6 +176,31 @@ pub struct Store {
     block_offsets: Vec<u64>,
     /// Height the newest durable checkpoint attests (0 = none).
     last_checkpoint_height: u64,
+    /// Blocks served to peers through catch-up bundles / tail streams.
+    blocks_served: u64,
+}
+
+/// The durable images a peer hands a late joiner: its newest checkpoint
+/// plus its full WAL. The joiner replays them through [`Store::open`],
+/// which adopts the checkpoint-attested prefix *structurally* (those
+/// blocks were verified before being checkpointed and the attestation is
+/// cross-checked) and fully re-verifies only the tail past the
+/// checkpoint — bounded by the checkpoint interval, so catch-up
+/// verification is O(tail), not O(chain). Every recovered RS's claimed
+/// (c, ℓ)-diversity is still re-checked over the whole chain before the
+/// joiner serves traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatchUpBundle {
+    /// Raw checkpoint-device image (crc-framed; empty when the server
+    /// never checkpointed).
+    pub checkpoint: Vec<u8>,
+    /// Raw WAL image: header plus every framed block record.
+    pub wal: Vec<u8>,
+    /// Block records contained in `wal`.
+    pub blocks: u64,
+    /// Height the checkpoint attests (0 = none) — everything past it is
+    /// the tail the joiner must fully verify.
+    pub checkpoint_height: u64,
 }
 
 impl Store {
@@ -236,6 +270,7 @@ impl Store {
                     wal_len: WAL_HEADER_LEN,
                     block_offsets: Vec::new(),
                     last_checkpoint_height: 0,
+                    blocks_served: 0,
                 },
                 chain,
                 report,
@@ -362,6 +397,7 @@ impl Store {
                 wal_len,
                 block_offsets,
                 last_checkpoint_height: loaded_cp.map_or(0, |c| c.height),
+                blocks_served: 0,
             },
             chain,
             report,
@@ -486,6 +522,57 @@ impl Store {
     /// Height attested by the newest durable checkpoint (0 = none).
     pub fn checkpoint_height(&self) -> u64 {
         self.last_checkpoint_height
+    }
+
+    /// Export the durable images a late joiner bootstraps from: newest
+    /// checkpoint + full WAL (clipped to the last well-framed record).
+    /// Counts every contained block as served.
+    pub fn serve_catchup(&mut self) -> Result<CatchUpBundle, StoreError> {
+        let mut wal = self.wal.read_all()?;
+        wal.truncate(self.wal_len as usize);
+        let checkpoint = self.cp.read_all()?;
+        let blocks = self.block_offsets.len() as u64;
+        self.note_served(blocks);
+        Ok(CatchUpBundle {
+            checkpoint,
+            wal,
+            blocks,
+            checkpoint_height: self.last_checkpoint_height,
+        })
+    }
+
+    /// Stream the framed WAL records past byte offset `from_len` — the
+    /// tail a crash-restarted peer (which already holds a WAL prefix of
+    /// that length) is missing. Offsets that don't fall on a record
+    /// boundary of *this* WAL yield an empty stream rather than torn
+    /// frames. Counts every streamed block as served.
+    pub fn wal_tail(&mut self, from_len: u64) -> Result<Vec<u8>, StoreError> {
+        let valid = from_len == self.wal_len
+            || from_len == WAL_HEADER_LEN
+            || self.block_offsets.contains(&from_len);
+        if !valid || from_len >= self.wal_len {
+            return Ok(Vec::new());
+        }
+        let mut wal = self.wal.read_all()?;
+        wal.truncate(self.wal_len as usize);
+        let tail = wal.split_off(from_len as usize);
+        let blocks = self
+            .block_offsets
+            .iter()
+            .filter(|&&off| off >= from_len)
+            .count() as u64;
+        self.note_served(blocks);
+        Ok(tail)
+    }
+
+    /// Blocks this store has served to peers (bundles + tail streams).
+    pub fn blocks_served(&self) -> u64 {
+        self.blocks_served
+    }
+
+    fn note_served(&mut self, blocks: u64) {
+        self.blocks_served += blocks;
+        StoreMetrics::global().checkpoint_served.add(blocks);
     }
 }
 

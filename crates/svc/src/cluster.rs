@@ -1,0 +1,145 @@
+//! Cluster-aware serve-sim: one fixed open-loop arrival schedule,
+//! sharded round-robin across N replica services.
+//!
+//! The single-node harness ([`crate::overload`]) answers "what does 4×
+//! overload do to one service?". This module answers the scale-out
+//! question the replication layer raises: with the *same* client
+//! population — the same seeded arrival schedule, byte for byte — how
+//! does goodput move as serving replicas are added? Sharding
+//! round-robin (not splitting into contiguous runs) keeps each shard
+//! spanning the full schedule at `1/N` of its rate, so offered load is
+//! held fixed while per-replica load drops to `load/N`.
+//!
+//! Each replica is an independent [`Service`] over the same calibrated
+//! instance, seeded from the scenario seed XOR a per-replica constant,
+//! so the whole cluster run replays byte-identically and per-replica
+//! outcomes land in labeled `svc.cluster.*{node="i"}` series.
+
+use dams_core::{Instance, SelectionPolicy};
+use dams_diversity::{DiversityRequirement, HtId, TokenUniverse};
+use dams_workload::shard_round_robin;
+
+use crate::overload::{build_arrivals, calibrate, service_config, OverloadConfig};
+use crate::service::{Service, SvcReport};
+
+/// Aggregate outcome of one sharded cluster load run.
+#[derive(Debug, Clone)]
+pub struct ClusterLoadReport {
+    /// Serving replicas the schedule was sharded across.
+    pub nodes: usize,
+    /// Total requests offered (across all shards — the full schedule).
+    pub offered: u64,
+    pub completed: u64,
+    pub failed: u64,
+    /// Requests shed terminally, all reasons, all replicas.
+    pub shed: u64,
+    /// Latest virtual tick any replica settled at.
+    pub final_tick: u64,
+    /// Per-replica reports, indexed by shard id.
+    pub per_node: Vec<SvcReport>,
+}
+
+impl ClusterLoadReport {
+    /// Cluster-wide completed fraction of offered load.
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.offered as f64
+    }
+}
+
+/// Run `base`'s overload scenario against `nodes` serving replicas: the
+/// identical seeded schedule [`build_arrivals`] produces for a single
+/// node, dealt round-robin across N independent services.
+pub fn run_cluster_overload(base: &OverloadConfig, nodes: usize) -> ClusterLoadReport {
+    let nodes = nodes.max(1);
+    let universe = TokenUniverse::new((0..base.universe.max(4)).map(HtId).collect());
+    let instance = Instance::fresh(universe);
+    let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 3));
+    let calib = calibrate(&instance, policy, 4);
+    let arrivals = build_arrivals(base, &calib, instance.universe.len() as u64);
+    let shards = shard_round_robin(&arrivals, nodes);
+
+    let mut per_node = Vec::with_capacity(nodes);
+    for (i, shard) in shards.iter().enumerate() {
+        let mut cfg = service_config(base, &calib);
+        // Distinct per-replica service streams (backoff, breaker jitter)
+        // that still derive from the one scenario seed.
+        cfg.seed = base.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut service = Service::new(&instance, policy, cfg);
+        let report = service.run(shard);
+        let node = i.to_string();
+        dams_obs::global()
+            .counter_labeled("svc.cluster.completed_total", "node", &node)
+            .add(report.completed);
+        dams_obs::global()
+            .counter_labeled("svc.cluster.shed_total", "node", &node)
+            .add(report.shed_total());
+        per_node.push(report);
+    }
+
+    ClusterLoadReport {
+        nodes,
+        offered: per_node.iter().map(|r| r.offered).sum(),
+        completed: per_node.iter().map(|r| r.completed).sum(),
+        failed: per_node.iter().map(|r| r.failed).sum(),
+        shed: per_node.iter().map(SvcReport::shed_total).sum(),
+        final_tick: per_node.iter().map(|r| r.final_tick).max().unwrap_or(0),
+        per_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(seed: u64) -> OverloadConfig {
+        OverloadConfig {
+            seed,
+            requests: 64,
+            ..OverloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharding_loses_no_arrivals() {
+        let report = run_cluster_overload(&base(3), 3);
+        assert_eq!(report.offered, 64, "every arrival lands on some shard");
+        assert_eq!(
+            report.completed + report.failed + report.shed,
+            report.offered,
+            "per-replica accounting must add up: {report:?}"
+        );
+        assert_eq!(report.per_node.len(), 3);
+    }
+
+    #[test]
+    fn goodput_rises_with_serving_replicas() {
+        let cfg = base(17);
+        let one = run_cluster_overload(&cfg, 1);
+        let three = run_cluster_overload(&cfg, 3);
+        assert_eq!(one.offered, three.offered, "same offered schedule");
+        assert!(
+            three.completed > one.completed,
+            "3 replicas at 4x offered load must complete more than 1: \
+             {} vs {}",
+            three.completed,
+            one.completed
+        );
+        assert!(three.goodput() > one.goodput());
+    }
+
+    #[test]
+    fn cluster_run_replays_identically() {
+        let cfg = base(29);
+        let a = run_cluster_overload(&cfg, 3);
+        let b = run_cluster_overload(&cfg, 3);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.final_tick, b.final_tick);
+        for (ra, rb) in a.per_node.iter().zip(&b.per_node) {
+            assert_eq!(ra.snapshot, rb.snapshot, "per-replica snapshots");
+        }
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`overload`] — the seeded overload harness: calibrates the tick
 //!   economy against an instance, drives open-loop arrival ramps at
 //!   multiples of capacity, and renders `BENCH_overload.json`.
+//! * [`cluster`] — the scale-out harness: the same seeded schedule
+//!   sharded round-robin across N replica services, for the cluster
+//!   goodput rows of `BENCH_cluster.json`.
 //! * [`obs`] — the `svc.*` metric family.
 //!
 //! Everything runs on a virtual tick clock from explicit seeds, so an
@@ -30,6 +33,7 @@
 //! assert on rendered snapshots.
 
 pub mod breaker;
+pub mod cluster;
 pub mod frontend;
 pub mod obs;
 pub mod overload;
@@ -37,8 +41,12 @@ pub mod retry;
 pub mod service;
 
 pub use breaker::{BreakerConfig, CircuitBreaker, CircuitState, Transition};
+pub use cluster::{run_cluster_overload, ClusterLoadReport};
 pub use frontend::{Frontend, FrontendConfig};
 pub use obs::SvcMetrics;
-pub use overload::{calibrate, render_bench_json, run_overload, run_ramp, Calibration, OverloadConfig};
+pub use overload::{
+    build_arrivals, calibrate, render_bench_json, run_overload, run_ramp, service_config,
+    Calibration, OverloadConfig,
+};
 pub use retry::RetryPolicy;
 pub use service::{Priority, Request, Service, ShedReason, SvcConfig, SvcReport};

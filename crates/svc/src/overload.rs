@@ -130,14 +130,9 @@ impl Default for OverloadConfig {
     }
 }
 
-/// Run one seeded overload scenario end to end and report.
-pub fn run_overload(cfg: &OverloadConfig) -> SvcReport {
-    let universe = TokenUniverse::new((0..cfg.universe.max(4)).map(HtId).collect());
-    let instance = Instance::fresh(universe);
-    let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 3));
-    let calib = calibrate(&instance, policy, 4);
-
-    let svc_cfg = SvcConfig {
+/// The service configuration the harness derives from one calibration.
+pub fn service_config(cfg: &OverloadConfig, calib: &Calibration) -> SvcConfig {
+    SvcConfig {
         workers: cfg.workers.max(1),
         queue_capacity: cfg.workers.max(1) * 4,
         ticks_per_candidate: calib.ticks_per_candidate,
@@ -148,8 +143,17 @@ pub fn run_overload(cfg: &OverloadConfig) -> SvcReport {
         stall_ticks: if cfg.stalls { calib.mean_exact_ticks } else { 0 },
         seed: cfg.seed,
         ..SvcConfig::default()
-    };
+    }
+}
 
+/// The full seeded arrival schedule for one scenario. The cluster
+/// harness shards this exact list across replicas, so offered load stays
+/// fixed while serving capacity scales.
+pub fn build_arrivals(
+    cfg: &OverloadConfig,
+    calib: &Calibration,
+    universe_len: u64,
+) -> Vec<(u64, Request)> {
     // Open-loop arrivals: mean inter-arrival gap of capacity/load. The
     // generator draws from its own stream so arrival jitter and service
     // randomness (backoff, breaker jitter) never entangle.
@@ -167,8 +171,8 @@ pub fn run_overload(cfg: &OverloadConfig) -> SvcReport {
     // Budget: generous enough that an uncontended request finishes at the
     // exact tier, tight enough that queue wait forces real degradation.
     let budget = 2 * calib.max_exact_ticks + calib.reserve_ticks;
-    let n = instance.universe.len() as u64;
-    let arrivals: Vec<(u64, Request)> = ticks
+    let n = universe_len.max(1);
+    ticks
         .iter()
         .enumerate()
         .map(|(i, &tick)| {
@@ -188,8 +192,17 @@ pub fn run_overload(cfg: &OverloadConfig) -> SvcReport {
                 },
             )
         })
-        .collect();
+        .collect()
+}
 
+/// Run one seeded overload scenario end to end and report.
+pub fn run_overload(cfg: &OverloadConfig) -> SvcReport {
+    let universe = TokenUniverse::new((0..cfg.universe.max(4)).map(HtId).collect());
+    let instance = Instance::fresh(universe);
+    let policy = SelectionPolicy::new(DiversityRequirement::new(1.0, 3));
+    let calib = calibrate(&instance, policy, 4);
+    let svc_cfg = service_config(cfg, &calib);
+    let arrivals = build_arrivals(cfg, &calib, instance.universe.len() as u64);
     let mut service = Service::new(&instance, policy, svc_cfg);
     service.run(&arrivals)
 }

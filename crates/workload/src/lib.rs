@@ -19,7 +19,7 @@ pub mod sampler;
 pub mod synthetic;
 pub mod trace;
 
-pub use openloop::OpenLoop;
+pub use openloop::{shard_round_robin, OpenLoop};
 pub use real::{monero_snapshot, output_histogram};
 pub use sampler::{measure, measure_framework, MeasuredPoint};
 pub use simulation::{simulate_batch, SimulationConfig, SimulationOutcome};

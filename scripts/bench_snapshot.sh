@@ -4,11 +4,13 @@
 # ladder, and the faulted node simulation) plus BENCH_selection.json
 # (the selection perf figure: optimized engines vs. seed references).
 #
-#   scripts/bench_snapshot.sh [OUT] [SEED] [SELECTION_OUT] [OVERLOAD_OUT]
+#   scripts/bench_snapshot.sh [OUT] [SEED] [SELECTION_OUT] [OVERLOAD_OUT] [CLUSTER_OUT]
 #
 # OUT defaults to BENCH_baseline.json at the repo root; SEED to 42;
 # SELECTION_OUT to BENCH_selection.json; OVERLOAD_OUT (the overload
-# service load ramp) to BENCH_overload.json.
+# service load ramp) to BENCH_overload.json; CLUSTER_OUT (goodput and
+# convergence vs cluster size) to BENCH_cluster.json, with the per-size
+# convergence reports in CLUSTER_report.txt alongside it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,11 +18,14 @@ OUT="${1:-BENCH_baseline.json}"
 SEED="${2:-42}"
 SELECTION_OUT="${3:-BENCH_selection.json}"
 OVERLOAD_OUT="${4:-BENCH_overload.json}"
+CLUSTER_OUT="${5:-BENCH_cluster.json}"
 
 cargo build --release -q -p dams-bench --bin dams-cli
 ./target/release/dams-cli bench --out "$OUT" --seed "$SEED" \
     --selection-out "$SELECTION_OUT"
 ./target/release/dams-cli serve-sim --out "$OVERLOAD_OUT" --seed "$SEED"
+./target/release/dams-cli cluster-sim --out "$CLUSTER_OUT" \
+    --report CLUSTER_report.txt --node-counts 1,3,5 --seed "$SEED"
 
 # Well-formedness gate: the snapshot must parse as JSON and cover the
 # BFS, Progressive, Game-theoretic, and degrade-tier metric families.
@@ -107,4 +112,48 @@ if lo["goodput"] + 0.11 < peak["goodput"]:
              f"{peak['goodput']:.2f} at {peak['offered_load']}x)")
 print(f"{path}: {len(rows)} load points, peak {peak['offered_load']}x "
       f"goodput {peak['goodput']:.2f}, sheds typed and accounted")
+EOF
+
+# Cluster gate: every size must converge with identical selection
+# verdicts, catch-up must stay O(tail) (bounded by the checkpoint
+# interval, 4), and goodput at fixed offered load must rise as serving
+# replicas are added.
+python3 - "$CLUSTER_OUT" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+rows = doc.get("rows", [])
+if not rows:
+    sys.exit(f"{path} has no cluster rows")
+required = ["nodes", "goodput", "offered", "completed", "shed",
+            "convergence_ticks", "height", "catchup_prefix_blocks",
+            "catchup_tail_blocks", "restart_tail_blocks", "blocks_served",
+            "converged"]
+for row in rows:
+    missing = [k for k in required if k not in row]
+    if missing:
+        sys.exit(f"{path}: row {row.get('nodes')} missing {missing}")
+    if not row["converged"]:
+        sys.exit(f"{path}: {row['nodes']}-node cluster did not converge")
+    if row["convergence_ticks"] is None:
+        sys.exit(f"{path}: {row['nodes']}-node cluster exhausted its ticks")
+    if row["catchup_tail_blocks"] > 4:
+        sys.exit(f"{path}: {row['nodes']}-node catch-up verified "
+                 f"{row['catchup_tail_blocks']} blocks — not O(tail)")
+    if row["blocks_served"] == 0:
+        sys.exit(f"{path}: {row['nodes']}-node run served no catch-up blocks")
+    if row["completed"] + row["shed"] > row["offered"]:
+        sys.exit(f"{path}: accounting exceeds offered load in row {row}")
+if len(rows) > 1:
+    lo = min(rows, key=lambda r: r["nodes"])
+    hi = max(rows, key=lambda r: r["nodes"])
+    if hi["goodput"] <= lo["goodput"]:
+        sys.exit(f"{path}: goodput did not rise with replicas "
+                 f"({lo['goodput']:.2f} at {lo['nodes']} vs "
+                 f"{hi['goodput']:.2f} at {hi['nodes']})")
+sizes = ", ".join(f"{r['nodes']}n={r['goodput']:.2f}" for r in rows)
+print(f"{path}: all sizes converged, catch-up O(tail), goodput {sizes}")
 EOF

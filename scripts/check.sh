@@ -70,6 +70,22 @@ if cli recover --store-dir "$flipdir" > /dev/null 2>&1; then
 fi
 echo "flipped byte detected (recover exited non-zero)"
 
+echo "== cluster convergence =="
+# Replication gate: a 3-node cluster must survive the scripted scenario —
+# gossip under the default fault model, a minority partition healed
+# mid-run, a crash/restart recovered from the replica's own store plus a
+# peer WAL-tail stream, and a late joiner bootstrapped from a checkpoint
+# bundle — converging on byte-identical tips and identical (c, l)
+# selection verdicts.
+cli cluster-sim --node-counts 3 --seed 42 \
+  --out "$tmpdir/bench_cluster_gate.json" --report CLUSTER_report.txt
+grep -q "verdict: CONVERGED" CLUSTER_report.txt
+if grep -q "verdict: DIVERGED" CLUSTER_report.txt; then
+  echo "cluster scenario diverged" >&2
+  exit 1
+fi
+echo "3-node partition/crash/join scenario converged"
+
 echo "== bench snapshot =="
 ./scripts/bench_snapshot.sh BENCH_baseline.json 42
 
