@@ -9,6 +9,8 @@
 //! dams-cli run     --store-dir DIR [--blocks N] [--seed N] [--crash-after-appends N]
 //! dams-cli recover --store-dir DIR
 //! dams-cli serve-sim [--seed N] [--workers N] [--requests N] [--loads "1,2,4"] [--out BENCH_overload.json]
+//! dams-cli serve --real [--seed N] [--workers N] [--requests N] [--loads "1,2,4"] [--transport duplex|tcp]
+//!                [--tenants N] [--out BENCH_runtime.json] [--diff-report DIFF_report.txt] [--trace-out FILE]
 //! dams-cli cluster-sim [--seed N] [--node-counts "1,3,5"] [--out BENCH_cluster.json] [--report CLUSTER_report.txt]
 //! dams-cli --faults 7 [--metrics text|json]
 //! ```
@@ -47,6 +49,15 @@
 //!   open-loop arrival ramp at each `--loads` multiple of calibrated
 //!   capacity (with injected worker stalls), then write the per-load rows
 //!   (goodput, typed sheds, latency quantiles) to `--out`.
+//! * `serve --real` — run the *real* concurrent runtime front end: the
+//!   same seeded trace a `serve-sim` scenario would replay is exported
+//!   to the wire (length-prefixed self-authenticating frames over an
+//!   in-process duplex pipe or loopback TCP), driven through a
+//!   thread-per-core worker pool, and diffed against the virtual-tick
+//!   `Service` model at each `--loads` multiple. Writes the grep-able
+//!   differential report (`--diff-report`, ends `verdict: MATCH` or
+//!   `verdict: DIVERGED`) and the sim-vs-real ramp rows (`--out`);
+//!   exits non-zero unless every load point matches.
 //! * `cluster-sim` — run the partition-tolerant replication scenario
 //!   (`dams-node`) and the sharded scale-out load harness (`dams-svc`) at
 //!   each `--node-counts` size: gossip dissemination under the default
@@ -272,6 +283,93 @@ fn main() {
                 die(&format!("cannot write {out}: {e}"));
             }
             println!("wrote {out} ({} load points)", rows.len());
+        }
+        "serve" => {
+            if !args.iter().any(|a| a == "--real") {
+                die("serve requires --real (the model-only replay is `serve-sim`)");
+            }
+            let out = get("--out").unwrap_or_else(|| "BENCH_runtime.json".into());
+            let report_out = get("--diff-report").unwrap_or_else(|| "DIFF_report.txt".into());
+            let workers: usize = get("--workers").and_then(|v| v.parse().ok()).unwrap_or(2);
+            let requests: u64 = get("--requests").and_then(|v| v.parse().ok()).unwrap_or(96);
+            let tenants: u64 = get("--tenants").and_then(|v| v.parse().ok()).unwrap_or(3);
+            let transport = match get("--transport").as_deref() {
+                Some("tcp") => dams_svc::Transport::Tcp,
+                Some("duplex") | None => dams_svc::Transport::Duplex,
+                Some(other) => die(&format!("unknown transport {other} (want duplex|tcp)")),
+            };
+            let loads: Vec<f64> = get("--loads")
+                .unwrap_or_else(|| "1,2,4".into())
+                .split(',')
+                .map(|v| {
+                    v.trim()
+                        .parse()
+                        .unwrap_or_else(|_| die(&format!("bad load multiple {v}")))
+                })
+                .collect();
+            if loads.is_empty() {
+                die("--loads needs at least one multiple");
+            }
+            let base = dams_svc::OverloadConfig {
+                seed,
+                workers,
+                requests,
+                ..dams_svc::OverloadConfig::default()
+            };
+            let mut rows: Vec<(f64, dams_svc::DiffOutcome)> = Vec::new();
+            for &load in &loads {
+                let cfg = dams_svc::DiffConfig {
+                    overload: dams_svc::OverloadConfig { load, ..base },
+                    transport,
+                    tenants,
+                    ..dams_svc::DiffConfig::default()
+                };
+                let o = dams_svc::run_differential(&cfg)
+                    .unwrap_or_else(|e| die(&format!("runtime at load {load}x failed: {e}")));
+                println!(
+                    "load {load:.2}x [{transport}]: sim goodput {:.2} vs real {:.2} | \
+                     offered {} | real completed {} shed {} | wire {} frames, {} responses \
+                     ({} dup) | {}",
+                    o.sim.goodput(),
+                    o.real.svc.goodput(),
+                    o.real.svc.offered,
+                    o.real.svc.completed,
+                    o.real.svc.shed_total(),
+                    o.real.frames_received,
+                    o.real.client.responses,
+                    o.real.client.duplicates,
+                    if o.report.matched() { "MATCH" } else { "DIVERGED" },
+                );
+                rows.push((load, o));
+            }
+            if let Some(trace_out) = get("--trace-out") {
+                // The first load point's wire trace, replayable as-is.
+                if let Err(e) = std::fs::write(&trace_out, &rows[0].1.trace_text) {
+                    die(&format!("cannot write {trace_out}: {e}"));
+                }
+                println!("wrote {trace_out}");
+            }
+            let reports: Vec<dams_svc::DiffReport> =
+                rows.iter().map(|(_, o)| o.report.clone()).collect();
+            let report_text = dams_svc::render_multi(&reports);
+            if let Err(e) = std::fs::write(&report_out, &report_text) {
+                die(&format!("cannot write {report_out}: {e}"));
+            }
+            let json = dams_svc::render_runtime_bench_json(&base, &rows);
+            if let Err(e) = std::fs::write(&out, &json) {
+                die(&format!("cannot write {out}: {e}"));
+            }
+            let all_match = reports.iter().all(dams_svc::DiffReport::matched);
+            println!(
+                "wrote {out} ({} load points) and {report_out} — overall verdict: {}",
+                rows.len(),
+                if all_match { "MATCH" } else { "DIVERGED" },
+            );
+            print_metrics(metrics_format);
+            if !all_match {
+                std::process::exit(1);
+            }
+            return;
         }
         "cluster-sim" => {
             let out = get("--out").unwrap_or_else(|| "BENCH_cluster.json".into());
@@ -641,6 +739,8 @@ fn usage() -> ! {
          \x20      dams-cli run --store-dir DIR [--blocks N] [--seed N] [--crash-after-appends N]\n\
          \x20      dams-cli recover --store-dir DIR   replay checkpoint + WAL, print recovery report\n\
          \x20      dams-cli serve-sim [--seed N] [--workers N] [--requests N] [--loads \"1,2,4\"] [--out FILE]\n\
+         \x20      dams-cli serve --real [--seed N] [--workers N] [--requests N] [--loads \"1,2,4\"]\n\
+         \x20                    [--transport duplex|tcp] [--tenants N] [--out FILE] [--diff-report FILE] [--trace-out FILE]\n\
          \x20      dams-cli cluster-sim [--seed N] [--node-counts \"1,3,5\"] [--out FILE] [--report FILE]\n\
          \x20      dams-cli --faults <seed>   replay a faulted node simulation"
     );

@@ -6,20 +6,26 @@
 //! a time. [`Frontend`] applies the same protections without the queue:
 //! deadline-infeasible budgets and circuit-open exact requirements are
 //! refused with a typed [`ShedReason`] *before* any search runs, exact
-//! grants are derived from the same reserve arithmetic, and the breaker
-//! advances on a virtual clock priced from each call's own work.
+//! grants are derived from the same reserve arithmetic
+//! ([`crate::admission`]), and the breaker advances on a
+//! [`MonoClock`](crate::clock::MonoClock) — virtual ticks priced from
+//! each call's own work by default, or wall-clock ticks when embedded in
+//! a real runtime. Either way the breaker cooldown runs through the
+//! *same* code path: `advance` is simply a no-op on a wall clock.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dams_core::{
-    select_with_ladder_exec, BfsBudget, CoreMetrics, Deadline, DegradeBudget, DegradedSelection,
-    Instance, LadderExec, SelectError, SelectionPolicy, Tier,
+    select_with_ladder_exec, CoreMetrics, DegradedSelection, Instance, LadderExec, SelectionPolicy,
+    Tier,
 };
 use dams_diversity::TokenId;
 use dams_obs::Registry;
 
+use crate::admission;
 use crate::breaker::{BreakerConfig, CircuitBreaker, CircuitState};
+use crate::clock::MonoClock;
 use crate::obs::SvcMetrics;
 use crate::service::ShedReason;
 
@@ -58,18 +64,32 @@ pub struct Frontend<'a> {
     metrics: SvcMetrics,
     core: CoreMetrics,
     rng: StdRng,
-    /// Virtual clock, advanced by each call's priced work.
-    now: u64,
+    /// The breaker/deadline clock: virtual ticks advanced by priced work,
+    /// or wall time in a real runtime (`advance` no-ops there).
+    clock: MonoClock,
 }
 
 impl<'a> Frontend<'a> {
     /// Metrics land in `registry` under the usual `svc.*` / `core.*`
     /// names, so callers can merge them into their own observability.
+    /// Runs on the virtual tick clock; see [`Frontend::with_clock`].
     pub fn new(
         instance: &'a Instance,
         policy: SelectionPolicy,
         cfg: FrontendConfig,
         registry: &Registry,
+    ) -> Self {
+        Self::with_clock(instance, policy, cfg, registry, MonoClock::ticks())
+    }
+
+    /// A frontend on an explicit clock — pass [`MonoClock::wall`] to run
+    /// the breaker cooldown in wall-clock ticks.
+    pub fn with_clock(
+        instance: &'a Instance,
+        policy: SelectionPolicy,
+        cfg: FrontendConfig,
+        registry: &Registry,
+        clock: MonoClock,
     ) -> Self {
         let metrics = SvcMetrics::in_registry(registry);
         metrics.circuit_state.set(CircuitState::Closed.gauge_value());
@@ -81,7 +101,7 @@ impl<'a> Frontend<'a> {
             metrics,
             core: CoreMetrics::in_registry(registry),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xf07e_57a7),
-            now: 0,
+            clock,
         }
     }
 
@@ -104,7 +124,7 @@ impl<'a> Frontend<'a> {
             self.metrics.shed_deadline_infeasible.inc();
             return Err(ShedReason::DeadlineInfeasible);
         }
-        let (exact_ok, tr) = self.breaker.exact_allowed(self.now);
+        let (exact_ok, tr) = self.breaker.exact_allowed(self.clock.now());
         self.surface(tr);
         if require_exact && !exact_ok {
             self.metrics.shed_circuit_open.inc();
@@ -112,29 +132,18 @@ impl<'a> Frontend<'a> {
         }
         self.metrics.admitted.inc();
 
-        let tpc = self.cfg.ticks_per_candidate.max(1);
-        let grant = if exact_ok {
-            (budget_ticks - self.cfg.reserve_ticks) / tpc
-        } else {
-            0
-        };
-        let ladder: &[Tier] = if exact_ok {
-            &Tier::DEFAULT_LADDER
-        } else {
-            &[Tier::Progressive, Tier::GameTheoretic]
-        };
+        let grant = admission::exact_grant(
+            budget_ticks,
+            self.cfg.reserve_ticks,
+            self.cfg.ticks_per_candidate,
+            exact_ok,
+        );
         let outcome = select_with_ladder_exec(
             self.instance,
             target,
             self.policy,
-            DegradeBudget {
-                exact_timeout: None,
-                bfs: BfsBudget {
-                    deadline: Some(Deadline::Ticks(grant)),
-                    ..BfsBudget::default()
-                },
-            },
-            ladder,
+            admission::grant_budget(grant),
+            admission::ladder_for(exact_ok),
             &self.core,
             &LadderExec {
                 workers: self.cfg.bfs_workers,
@@ -142,43 +151,28 @@ impl<'a> Frontend<'a> {
             },
         );
 
-        // Price the call and advance the virtual clock.
-        let cost = match &outcome {
-            Ok(sel) if sel.tier == Tier::ExactBfs => {
-                sel.selection.stats.candidates_examined.saturating_mul(tpc)
-            }
-            Ok(sel) => {
-                let burned = if exact_ok
-                    && sel
-                        .attempts
-                        .iter()
-                        .any(|(t, e)| *t == Tier::ExactBfs && *e == SelectError::BudgetExhausted)
-                {
-                    grant.saturating_mul(tpc)
-                } else {
-                    0
-                };
-                burned + 1 + sel.selection.stats.diversity_checks
-            }
-            Err(_) => 1,
-        };
-        self.metrics.service.record(cost.max(1));
-        self.now += cost.max(1);
+        // Price the call and credit the clock (no-op on wall clocks:
+        // real time already passed while the search ran).
+        let cost = admission::price_outcome(
+            &outcome,
+            exact_ok,
+            grant,
+            self.cfg.ticks_per_candidate,
+        );
+        self.metrics.service.record(cost);
+        self.clock.advance(cost);
 
-        if exact_ok {
-            let fallback = match &outcome {
-                Ok(sel) => sel.tier != Tier::ExactBfs,
-                Err(SelectError::DeadlineInfeasible) => true,
-                Err(_) => false,
-            };
-            if fallback {
+        match admission::breaker_feedback(&outcome, exact_ok) {
+            Some(true) => {
                 let jitter = self.rng.gen_range(0..=self.cfg.breaker.cooldown.max(4) / 4);
-                let tr = self.breaker.on_fallback(self.now, jitter);
+                let tr = self.breaker.on_fallback(self.clock.now(), jitter);
                 self.surface(tr);
-            } else if matches!(&outcome, Ok(sel) if sel.tier == Tier::ExactBfs) {
+            }
+            Some(false) => {
                 let tr = self.breaker.on_exact_success();
                 self.surface(tr);
             }
+            None => {}
         }
 
         match outcome {

@@ -32,21 +32,39 @@
 //! search thread counts (`bfs_workers`), which the property tests
 //! assert on rendered snapshots.
 
+pub mod admission;
 pub mod breaker;
+pub mod clock;
 pub mod cluster;
+pub mod differential;
 pub mod frontend;
 pub mod obs;
 pub mod overload;
 pub mod retry;
+pub mod runtime;
 pub mod service;
+pub mod wire;
 
 pub use breaker::{BreakerConfig, CircuitBreaker, CircuitState, Transition};
+pub use clock::{calibrate_wall, MonoClock, WallCalibration};
 pub use cluster::{run_cluster_overload, ClusterLoadReport};
+pub use differential::{
+    render_multi, render_runtime_bench_json, run_differential, DiffConfig, DiffOutcome,
+    DiffReport, DiffRow, DiffTolerance,
+};
 pub use frontend::{Frontend, FrontendConfig};
-pub use obs::SvcMetrics;
+pub use obs::{RuntimeMetrics, SvcMetrics};
+pub use runtime::{
+    run_runtime, ClientTally, Pace, RuntimeConfig, RuntimeReport, TerminalFate, TerminalLedger,
+    Transport,
+};
 pub use overload::{
     build_arrivals, calibrate, render_bench_json, run_overload, run_ramp, service_config,
     Calibration, OverloadConfig,
 };
 pub use retry::RetryPolicy;
 pub use service::{Priority, Request, Service, ShedReason, SvcConfig, SvcReport};
+pub use wire::{
+    decode_frame, duplex_pair, write_frame, DuplexEnd, FrameReader, Hello, Message, WireError,
+    WireOutcome, WireRequest, WireResponse,
+};

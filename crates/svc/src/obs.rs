@@ -86,6 +86,40 @@ impl SvcMetrics {
     }
 }
 
+/// Handles onto the `svc.runtime.*` family — what the real runtime adds
+/// on top of the service metrics:
+///
+/// * `svc.runtime.frames.{sent,received,rejected}_total` — wire frames
+///   the server wrote / decoded / refused (deterministic for a given
+///   trace, so they live in the deterministic snapshot);
+/// * `svc.runtime.sessions_total` — wallet sessions opened via HELLO;
+/// * `svc.runtime.wall.latency_ns` / `svc.runtime.wall.service_ns` —
+///   wall-clock distributions ([`Unit::Nanos`]): hidden by deterministic
+///   snapshots, rendered in full by the `Mode::WallClock` sidecar.
+#[derive(Debug, Clone)]
+pub struct RuntimeMetrics {
+    pub frames_sent: Counter,
+    pub frames_received: Counter,
+    pub frames_rejected: Counter,
+    pub sessions: Counter,
+    pub wall_latency: Histogram,
+    pub wall_service: Histogram,
+}
+
+impl RuntimeMetrics {
+    /// Register (or re-acquire) every runtime metric in `registry`.
+    pub fn in_registry(registry: &Registry) -> Self {
+        RuntimeMetrics {
+            frames_sent: registry.counter("svc.runtime.frames.sent_total"),
+            frames_received: registry.counter("svc.runtime.frames.received_total"),
+            frames_rejected: registry.counter("svc.runtime.frames.rejected_total"),
+            sessions: registry.counter("svc.runtime.sessions_total"),
+            wall_latency: registry.histogram("svc.runtime.wall.latency_ns", Unit::Nanos),
+            wall_service: registry.histogram("svc.runtime.wall.service_ns", Unit::Nanos),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +137,22 @@ mod tests {
         assert_eq!(snap.counter("svc.shed.queue_full_total"), Some(1));
         assert_eq!(snap.histogram_count("svc.queue.wait_ticks"), Some(1));
         assert_eq!(snap.gauge("svc.circuit.state"), Some(1));
+    }
+
+    #[test]
+    fn runtime_family_registers_and_hides_wall_timers_deterministically() {
+        use dams_obs::Mode;
+        let registry = Registry::new();
+        let m = RuntimeMetrics::in_registry(&registry);
+        m.frames_sent.add(3);
+        m.sessions.inc();
+        m.wall_latency.record(1_500);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("svc.runtime.frames.sent_total"), Some(3));
+        assert_eq!(snap.counter("svc.runtime.sessions_total"), Some(1));
+        let det = snap.render_text(Mode::Deterministic);
+        assert!(det.contains("svc.runtime.wall.latency_ns\ttimer\tcount=1"));
+        assert!(!det.contains("p99"), "nanos detail must stay out: {det}");
     }
 
     #[test]

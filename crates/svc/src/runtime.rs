@@ -1,0 +1,1292 @@
+//! The real concurrent runtime front end: actual worker threads behind
+//! the service's admission/breaker semantics, driven over the wire
+//! protocol ([`crate::wire`]).
+//!
+//! # Two pacing modes, one admission code path
+//!
+//! Admission arithmetic (reserve/grant split, ladder choice, outcome
+//! pricing, breaker feedback) is shared with the virtual-tick
+//! [`Service`](crate::service::Service) through [`crate::admission`] and
+//! [`crate::clock::MonoClock`] — the runtime is the same decision
+//! procedure, executed by real threads.
+//!
+//! * **Virtual pace** ([`Pace::Virtual`]) — the differential-oracle
+//!   mode. The client writes the whole trace over the wire and closes;
+//!   the server decodes and authenticates every frame, then replays the
+//!   arrivals on the virtual tick clock. Selections run on real worker
+//!   threads (a same-tick dispatch batch executes concurrently), but
+//!   settlement is deterministic: completions are drained to quiescence
+//!   before the clock advances, sorted by their dispatch-order sequence
+//!   numbers, and settled in that order. Racy completion-arrival order
+//!   therefore cannot change a single counter — which is what lets CI
+//!   re-run the real runtime three times and demand byte-identical
+//!   accounting.
+//! * **Wall pace** ([`Pace::Wall`]) — arrivals are paced by real
+//!   sleeps (trace tick × calibrated `ns_per_tick`), deadlines are wall
+//!   deadlines mapped through the same tick economy, and workers settle
+//!   the shared [`TerminalLedger`] themselves at completion time:
+//!   genuinely racing settlements, first writer wins, hedge twins
+//!   deduplicate through the ledger. Only invariants (terminal
+//!   accounting, exactly-one-response-per-id) are asserted here, not
+//!   bit-determinism.
+//!
+//! # Where the runtime legitimately diverges from the sim
+//!
+//! The sim settles a request *at dispatch* (its event loop knows the
+//! outcome instantly); the runtime can only settle when the worker
+//! finishes. Three bounded consequences, absorbed by the differential
+//! tolerance and spelled out in DESIGN.md: hedge twins that are both
+//! in flight both consume a worker; breaker feedback lands after a
+//! dispatch batch instead of between its members; and backoff/jitter
+//! draws happen in a different order on the shared stream, so they
+//! yield different values than the sim's draws.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown as NetShutdown, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dams_core::{
+    select_with_ladder_exec, CoreMetrics, DegradedSelection, Instance, LadderExec, SelectError,
+    SelectionPolicy, Tier,
+};
+use dams_obs::{Mode, Registry};
+use dams_workload::ArrivalEvent;
+
+use crate::admission;
+use crate::breaker::{CircuitBreaker, CircuitState, Transition};
+use crate::clock::MonoClock;
+use crate::obs::{RuntimeMetrics, SvcMetrics};
+use crate::service::{Priority, Request, ShedReason, SvcConfig, SvcReport};
+use crate::wire::{
+    duplex_pair, write_frame, DuplexEnd, FrameReader, Hello, Message, WireError, WireOutcome,
+    WireRequest, WireResponse,
+};
+
+/// How request arrivals are paced through the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pace {
+    /// Replay on the virtual tick clock (deterministic; the
+    /// differential-oracle mode).
+    Virtual,
+    /// Pace arrivals in real time at `ns_per_tick` nanoseconds per
+    /// virtual tick (from [`crate::clock::calibrate_wall`]).
+    Wall { ns_per_tick: u64 },
+}
+
+/// Which byte transport carries the frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// In-process cross-wired pipes ([`duplex_pair`]).
+    Duplex,
+    /// A real loopback TCP connection.
+    Tcp,
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transport::Duplex => write!(f, "duplex"),
+            Transport::Tcp => write!(f, "tcp"),
+        }
+    }
+}
+
+/// Runtime configuration: the service semantics plus the runtime's own
+/// pacing/transport/session choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    pub svc: SvcConfig,
+    pub pace: Pace,
+    pub transport: Transport,
+    /// Wallet sessions the client opens (requests carry a tenant id;
+    /// `trace.tenant` should stay below this).
+    pub tenants: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            svc: SvcConfig::default(),
+            pace: Pace::Virtual,
+            transport: Transport::Duplex,
+            tenants: 3,
+        }
+    }
+}
+
+/// The terminal fate of one request id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminalFate {
+    Completed { met: bool, degraded: bool },
+    Shed(ShedReason),
+    Failed,
+}
+
+/// First-writer-wins terminal accounting, shared between the engine and
+/// (in wall pace) the racing workers. Exactly one settlement per id ever
+/// succeeds; everything downstream — response frames, completion
+/// counters, hedge dedup — keys off that single success.
+#[derive(Debug, Default)]
+pub struct TerminalLedger {
+    inner: Mutex<HashMap<u64, TerminalFate>>,
+}
+
+impl TerminalLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `fate` for `id` unless a twin got there first. Returns
+    /// whether this call won the settlement.
+    pub fn settle(&self, id: u64, fate: TerminalFate) -> bool {
+        let mut map = self.inner.lock().expect("ledger lock");
+        match map.entry(id) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(fate);
+                true
+            }
+        }
+    }
+
+    pub fn contains(&self, id: u64) -> bool {
+        self.inner.lock().expect("ledger lock").contains_key(&id)
+    }
+
+    pub fn get(&self, id: u64) -> Option<TerminalFate> {
+        self.inner.lock().expect("ledger lock").get(&id).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ledger lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn counts(&self) -> LedgerCounts {
+        let map = self.inner.lock().expect("ledger lock");
+        let mut c = LedgerCounts::default();
+        for fate in map.values() {
+            match fate {
+                TerminalFate::Completed { met, .. } => {
+                    c.completed += 1;
+                    if *met {
+                        c.met += 1;
+                    } else {
+                        c.missed += 1;
+                    }
+                }
+                TerminalFate::Failed => c.failed += 1,
+                TerminalFate::Shed(ShedReason::QueueFull) => c.shed_queue_full += 1,
+                TerminalFate::Shed(ShedReason::DeadlineInfeasible) => c.shed_deadline += 1,
+                TerminalFate::Shed(ShedReason::CircuitOpen) => c.shed_circuit += 1,
+            }
+        }
+        c
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct LedgerCounts {
+    completed: u64,
+    failed: u64,
+    met: u64,
+    missed: u64,
+    shed_queue_full: u64,
+    shed_deadline: u64,
+    shed_circuit: u64,
+}
+
+/// What the client observed on its side of the wire — the independent
+/// cross-check against the server's report (wire fidelity: every unique
+/// id gets exactly one terminal response).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClientTally {
+    pub responses: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub shed: u64,
+    pub deadline_met: u64,
+    /// Responses for an id already answered (must stay 0).
+    pub duplicates: u64,
+}
+
+/// Everything one runtime run produced.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Sim-comparable accounting (same shape the virtual-tick service
+    /// reports, including the deterministic snapshot).
+    pub svc: SvcReport,
+    pub client: ClientTally,
+    /// Frames the server decoded (hellos + requests + shutdown).
+    pub frames_received: u64,
+    /// Frames the server rejected at decode (0 on a clean transport).
+    pub frames_rejected: u64,
+    /// Wallet sessions opened.
+    pub sessions: u64,
+    /// Wall-clock sidecar snapshot ([`Mode::WallClock`]): only the
+    /// nanosecond timers, rendered in full. Empty-ish in virtual pace.
+    pub wall_snapshot: String,
+}
+
+// ---------------------------------------------------------------------
+// Transport plumbing
+// ---------------------------------------------------------------------
+
+enum Channel {
+    Duplex(DuplexEnd),
+    Tcp(TcpStream),
+}
+
+impl Channel {
+    fn try_clone(&self) -> Result<Channel, WireError> {
+        match self {
+            Channel::Duplex(d) => Ok(Channel::Duplex(d.clone())),
+            Channel::Tcp(t) => t
+                .try_clone()
+                .map(Channel::Tcp)
+                .map_err(|e| WireError::Io(e.to_string())),
+        }
+    }
+
+    fn close_write(&self) {
+        match self {
+            Channel::Duplex(d) => d.close(),
+            Channel::Tcp(t) => {
+                let _ = t.shutdown(NetShutdown::Write);
+            }
+        }
+    }
+}
+
+impl Read for Channel {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Channel::Duplex(d) => d.read(buf),
+            Channel::Tcp(t) => t.read(buf),
+        }
+    }
+}
+
+impl Write for Channel {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Channel::Duplex(d) => d.write(buf),
+            Channel::Tcp(t) => t.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Channel::Duplex(d) => d.flush(),
+            Channel::Tcp(t) => t.flush(),
+        }
+    }
+}
+
+fn make_transport(transport: Transport) -> Result<(Channel, Channel), WireError> {
+    match transport {
+        Transport::Duplex => {
+            let (a, b) = duplex_pair();
+            Ok((Channel::Duplex(a), Channel::Duplex(b)))
+        }
+        Transport::Tcp => {
+            let io_err = |e: std::io::Error| WireError::Io(e.to_string());
+            let listener = TcpListener::bind("127.0.0.1:0").map_err(io_err)?;
+            let addr = listener.local_addr().map_err(io_err)?;
+            let client = TcpStream::connect(addr).map_err(io_err)?;
+            let (server, _) = listener.accept().map_err(io_err)?;
+            client.set_nodelay(true).map_err(io_err)?;
+            server.set_nodelay(true).map_err(io_err)?;
+            Ok((Channel::Tcp(client), Channel::Tcp(server)))
+        }
+    }
+}
+
+fn wire_request(e: &ArrivalEvent) -> WireRequest {
+    WireRequest {
+        tick: e.tick,
+        id: e.id,
+        tenant: e.tenant,
+        target: e.target,
+        interactive: e.interactive,
+        budget: e.budget,
+        require_exact: e.require_exact,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    /// Dispatch-order sequence — the deterministic settlement key.
+    seq: u64,
+    worker: usize,
+    req: Request,
+    hedge: bool,
+    enqueued: u64,
+    dispatched: u64,
+    exact_ok: bool,
+    grant: u64,
+    stall: u64,
+}
+
+struct Done {
+    job: Job,
+    outcome: Result<DegradedSelection, SelectError>,
+    /// Wall pace only: whether this worker's inline settlement won.
+    settled: bool,
+    /// Wall pace only: the clock tick the worker finished at.
+    finish_tick: u64,
+}
+
+/// Wall-pace inline settlement context handed to each worker.
+struct InlineSettle {
+    ledger: Arc<TerminalLedger>,
+    clock: MonoClock,
+    ns_per_tick: u64,
+    metrics: RuntimeMetrics,
+}
+
+/// Where a worker reports completions: the virtual engine's dedicated
+/// drain channel, or the wall engine's unified message channel.
+enum DoneSink {
+    Direct(mpsc::Sender<Done>),
+    Wall(mpsc::Sender<WallMsg>),
+}
+
+impl DoneSink {
+    fn send(&self, done: Done) -> Result<(), ()> {
+        match self {
+            DoneSink::Direct(tx) => tx.send(done).map_err(drop),
+            DoneSink::Wall(tx) => tx.send(WallMsg::Done(done)).map_err(drop),
+        }
+    }
+}
+
+fn worker_loop(
+    instance: &Instance,
+    policy: SelectionPolicy,
+    bfs_workers: usize,
+    core: CoreMetrics,
+    jobs: mpsc::Receiver<Job>,
+    done: DoneSink,
+    inline: Option<InlineSettle>,
+) {
+    let exec = LadderExec {
+        workers: bfs_workers,
+        cache: None,
+    };
+    while let Ok(job) = jobs.recv() {
+        let started = Instant::now();
+        let outcome = select_with_ladder_exec(
+            instance,
+            job.req.target,
+            policy,
+            admission::grant_budget(job.grant),
+            admission::ladder_for(job.exact_ok),
+            &core,
+            &exec,
+        );
+        let mut settled = false;
+        let mut finish_tick = 0;
+        if let Some(inl) = &inline {
+            // Racing settlement: first twin to reach the ledger wins.
+            finish_tick = inl.clock.now();
+            let latency = finish_tick.saturating_sub(job.enqueued);
+            let fate = match &outcome {
+                Ok(sel) => TerminalFate::Completed {
+                    met: latency <= job.req.budget,
+                    degraded: sel.tier != Tier::ExactBfs,
+                },
+                Err(_) => TerminalFate::Failed,
+            };
+            settled = inl.ledger.settle(job.req.id, fate);
+            inl.metrics
+                .wall_service
+                .record(started.elapsed().as_nanos() as u64);
+            inl.metrics
+                .wall_latency
+                .record(latency.saturating_mul(inl.ns_per_tick));
+        }
+        if done
+            .send(Done {
+                job,
+                outcome,
+                settled,
+                finish_tick,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared engine state
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Queued {
+    req: Request,
+    attempt: u32,
+    hedge: bool,
+    enqueued: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    Arrival { req: Request, attempt: u32, hedge: bool },
+    WorkerFree(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    tick: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.tick, self.seq).cmp(&(other.tick, other.seq))
+    }
+}
+
+/// The server engine: admission, queues, breaker, dispatch, settlement.
+/// One instance serves one connection (both pacing modes).
+struct Engine<'w> {
+    cfg: SvcConfig,
+    registry: Registry,
+    metrics: SvcMetrics,
+    rt_metrics: RuntimeMetrics,
+    breaker: CircuitBreaker,
+    rng: StdRng,
+    interactive: VecDeque<Queued>,
+    batch: VecDeque<Queued>,
+    idle: VecDeque<usize>,
+    ledger: Arc<TerminalLedger>,
+    job_tx: Vec<mpsc::Sender<Job>>,
+    done_rx: mpsc::Receiver<Done>,
+    resp: &'w mut Channel,
+    next_seq: u64,
+    offered_ids: u64,
+    dispatches: u64,
+    in_flight: usize,
+}
+
+impl<'w> Engine<'w> {
+    fn surface(&self, tr: Option<Transition>) {
+        let Some(tr) = tr else { return };
+        match tr {
+            Transition::Opened => self.metrics.circuit_opened.inc(),
+            Transition::HalfOpened => self.metrics.circuit_half_open.inc(),
+            Transition::Closed => self.metrics.circuit_closed.inc(),
+        }
+        self.metrics
+            .circuit_state
+            .set(self.breaker.state().gauge_value());
+    }
+
+    fn respond(&mut self, id: u64, fate: TerminalFate) -> Result<(), WireError> {
+        let outcome = match fate {
+            TerminalFate::Completed { met, degraded } => WireOutcome::Completed { met, degraded },
+            TerminalFate::Shed(r) => WireOutcome::Shed(r),
+            TerminalFate::Failed => WireOutcome::Failed,
+        };
+        self.rt_metrics.frames_sent.inc();
+        write_frame(self.resp, &Message::Response(WireResponse { id, outcome }))
+    }
+
+    /// Terminal settlement through the ledger; the winner writes the
+    /// response frame. Returns whether this call won.
+    fn settle_terminal(&mut self, id: u64, fate: TerminalFate) -> Result<bool, WireError> {
+        if self.ledger.settle(id, fate) {
+            self.respond(id, fate)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn on_arrival(
+        &mut self,
+        now: u64,
+        req: Request,
+        attempt: u32,
+        hedge: bool,
+        timers: &mut Timers,
+    ) -> Result<(), WireError> {
+        if attempt == 1 && !hedge {
+            self.offered_ids += 1;
+            self.metrics.offered.inc();
+        }
+        if self.ledger.contains(req.id) {
+            if hedge {
+                self.metrics.hedges_wasted.inc();
+            }
+            return Ok(());
+        }
+        if req.budget < self.cfg.reserve_ticks {
+            return self.shed(now, req, attempt, hedge, ShedReason::DeadlineInfeasible, timers);
+        }
+        if req.require_exact {
+            let (allowed, tr) = self.breaker.exact_allowed(now);
+            self.surface(tr);
+            if !allowed {
+                return self.shed(now, req, attempt, hedge, ShedReason::CircuitOpen, timers);
+            }
+        }
+        let queue = match req.class {
+            Priority::Interactive => &mut self.interactive,
+            Priority::Batch => &mut self.batch,
+        };
+        if queue.len() >= self.cfg.queue_capacity {
+            return self.shed(now, req, attempt, hedge, ShedReason::QueueFull, timers);
+        }
+        queue.push_back(Queued {
+            req,
+            attempt,
+            hedge,
+            enqueued: now,
+        });
+        self.metrics.admitted.inc();
+        self.metrics
+            .queue_depth_peak
+            .set_max((self.interactive.len() + self.batch.len()) as i64);
+        Ok(())
+    }
+
+    fn shed(
+        &mut self,
+        now: u64,
+        req: Request,
+        attempt: u32,
+        hedge: bool,
+        reason: ShedReason,
+        timers: &mut Timers,
+    ) -> Result<(), WireError> {
+        match reason {
+            ShedReason::QueueFull => self.metrics.shed_queue_full.inc(),
+            ShedReason::DeadlineInfeasible => self.metrics.shed_deadline_infeasible.inc(),
+            ShedReason::CircuitOpen => self.metrics.shed_circuit_open.inc(),
+        }
+        if hedge {
+            return Ok(());
+        }
+        let retryable = req.class == Priority::Batch
+            && reason != ShedReason::DeadlineInfeasible
+            && self.cfg.retry.may_retry(attempt);
+        if retryable {
+            let backoff = self.cfg.retry.backoff_ticks(attempt, &mut self.rng);
+            self.metrics.retries.inc();
+            timers.push(now + backoff, req, attempt + 1, false);
+            if self.cfg.hedge_batch {
+                self.metrics.hedges_spawned.inc();
+                timers.push(now + backoff + 1 + backoff / 2, req, attempt + 1, true);
+            }
+        } else {
+            self.settle_terminal(req.id, TerminalFate::Shed(reason))?;
+        }
+        Ok(())
+    }
+
+    /// Pair idle workers with queued requests; jobs go to real threads.
+    fn dispatch_all(&mut self, now: u64) {
+        while !self.idle.is_empty() {
+            let Some(q) = self
+                .interactive
+                .pop_front()
+                .or_else(|| self.batch.pop_front())
+            else {
+                return;
+            };
+            if self.ledger.contains(q.req.id) {
+                if q.hedge {
+                    self.metrics.hedges_wasted.inc();
+                }
+                continue;
+            }
+            let Some(worker) = self.idle.pop_front() else {
+                return;
+            };
+            self.dispatch(now, worker, q);
+        }
+    }
+
+    fn dispatch(&mut self, now: u64, worker: usize, q: Queued) {
+        let waited = now.saturating_sub(q.enqueued);
+        self.metrics.queue_wait.record(waited);
+        let remaining = q.req.budget.saturating_sub(waited);
+        if remaining < self.cfg.reserve_ticks {
+            // Queue wait ate the budget; the timer heap is untouched here
+            // because DeadlineInfeasible sheds are never retried.
+            let mut no_timers = Timers::default();
+            let _ = self.shed(
+                now,
+                q.req,
+                q.attempt,
+                q.hedge,
+                ShedReason::DeadlineInfeasible,
+                &mut no_timers,
+            );
+            self.idle.push_back(worker);
+            return;
+        }
+        let (exact_ok, tr) = self.breaker.exact_allowed(now);
+        self.surface(tr);
+        let grant = admission::exact_grant(
+            remaining,
+            self.cfg.reserve_ticks,
+            self.cfg.ticks_per_candidate,
+            exact_ok,
+        );
+        self.dispatches += 1;
+        let stall = if self.cfg.stall_every > 0
+            && self.dispatches.is_multiple_of(self.cfg.stall_every)
+        {
+            self.metrics.stalls_injected.inc();
+            self.metrics.stall_ticks.add(self.cfg.stall_ticks);
+            self.cfg.stall_ticks
+        } else {
+            0
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let job = Job {
+            seq,
+            worker,
+            req: q.req,
+            hedge: q.hedge,
+            enqueued: q.enqueued,
+            dispatched: now,
+            exact_ok,
+            grant,
+            stall,
+        };
+        if self.job_tx[worker].send(job).is_ok() {
+            self.in_flight += 1;
+        } else {
+            // Worker died (cannot happen absent a panic); fail the id so
+            // accounting still closes.
+            let _ = self.settle_terminal(q.req.id, TerminalFate::Failed);
+            self.metrics.failed.inc();
+            self.idle.push_back(worker);
+        }
+    }
+
+    fn report(&self, final_tick: u64) -> SvcReport {
+        let c = self.ledger.counts();
+        SvcReport {
+            offered: self.offered_ids,
+            admitted_events: self.metrics.admitted.get(),
+            completed: c.completed,
+            failed: c.failed,
+            shed_queue_full: c.shed_queue_full,
+            shed_deadline_infeasible: c.shed_deadline,
+            shed_circuit_open: c.shed_circuit,
+            deadline_met: c.met,
+            deadline_missed: c.missed,
+            p50_latency_ticks: self.metrics.latency.quantile(0.5).unwrap_or(0),
+            p99_latency_ticks: self.metrics.latency.quantile(0.99).unwrap_or(0),
+            final_tick,
+            snapshot: self.registry.snapshot().render_text(Mode::Deterministic),
+        }
+    }
+}
+
+/// Pending retry/hedge re-arrivals (virtual pace pushes them straight
+/// into the event heap; wall pace keeps them in a timer heap).
+#[derive(Default)]
+struct Timers {
+    heap: BinaryHeap<Reverse<Ev>>,
+    next_seq: u64,
+}
+
+impl Timers {
+    fn push(&mut self, tick: u64, req: Request, attempt: u32, hedge: bool) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Ev {
+            tick,
+            seq,
+            kind: EvKind::Arrival { req, attempt, hedge },
+        }));
+    }
+
+    fn next_due(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.tick)
+    }
+
+    fn pop_due(&mut self, now: u64) -> Option<(u64, Request, u32, bool)> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.tick <= now => {
+                let Reverse(e) = self.heap.pop().expect("peeked");
+                match e.kind {
+                    EvKind::Arrival { req, attempt, hedge } => Some((e.tick, req, attempt, hedge)),
+                    EvKind::WorkerFree(_) => unreachable!("timers only hold arrivals"),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Virtual-pace server
+// ---------------------------------------------------------------------
+
+struct ServerOut {
+    svc: SvcReport,
+    frames_received: u64,
+    frames_rejected: u64,
+    sessions: u64,
+    wall_snapshot: String,
+}
+
+fn run_virtual_server(
+    engine: &mut Engine<'_>,
+    arrivals: Vec<(u64, Request)>,
+) -> Result<u64, WireError> {
+    // The event heap: trace arrivals + retries/hedges + worker frees.
+    // Timer pushes from shed() land in the same heap through a shim.
+    let mut events: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    let mut ev_seq = 0u64;
+    let push = |events: &mut BinaryHeap<Reverse<Ev>>, seq: &mut u64, tick, kind| {
+        events.push(Reverse(Ev {
+            tick,
+            seq: *seq,
+            kind,
+        }));
+        *seq += 1;
+    };
+    for (tick, req) in arrivals {
+        push(
+            &mut events,
+            &mut ev_seq,
+            tick,
+            EvKind::Arrival {
+                req,
+                attempt: 1,
+                hedge: false,
+            },
+        );
+    }
+    let mut final_tick = 0u64;
+    loop {
+        // Deterministic settlement: drain every in-flight completion
+        // before the clock can move, then settle in dispatch order.
+        if engine.in_flight > 0 {
+            let mut batch = Vec::with_capacity(engine.in_flight);
+            while engine.in_flight > 0 {
+                let done = engine
+                    .done_rx
+                    .recv()
+                    .map_err(|_| WireError::Io("worker pool hung up".into()))?;
+                engine.in_flight -= 1;
+                batch.push(done);
+            }
+            batch.sort_by_key(|d| d.job.seq);
+            for done in batch {
+                let finish = settle_virtual(engine, done, &mut events, &mut ev_seq)?;
+                final_tick = final_tick.max(finish);
+            }
+        }
+        let Some(Reverse(ev)) = events.pop() else { break };
+        final_tick = final_tick.max(ev.tick);
+        match ev.kind {
+            EvKind::Arrival { req, attempt, hedge } => {
+                // Retries/hedges scheduled by shed() go through a local
+                // timer struct, then migrate into the event heap.
+                let mut timers = Timers::default();
+                engine.on_arrival(ev.tick, req, attempt, hedge, &mut timers)?;
+                while let Some(Reverse(t)) = timers.heap.pop() {
+                    push(&mut events, &mut ev_seq, t.tick, t.kind);
+                }
+            }
+            EvKind::WorkerFree(w) => engine.idle.push_back(w),
+        }
+        engine.dispatch_all(ev.tick);
+    }
+    Ok(final_tick)
+}
+
+/// Settle one drained completion on the virtual clock (deterministic:
+/// callers pass completions in dispatch-seq order). Returns the finish
+/// tick.
+fn settle_virtual(
+    engine: &mut Engine<'_>,
+    done: Done,
+    events: &mut BinaryHeap<Reverse<Ev>>,
+    ev_seq: &mut u64,
+) -> Result<u64, WireError> {
+    let job = done.job;
+    let cost = admission::price_outcome(
+        &done.outcome,
+        job.exact_ok,
+        job.grant,
+        engine.cfg.ticks_per_candidate,
+    );
+    let finish = job.dispatched + cost + job.stall;
+    events.push(Reverse(Ev {
+        tick: finish,
+        seq: *ev_seq,
+        kind: EvKind::WorkerFree(job.worker),
+    }));
+    *ev_seq += 1;
+    if engine.ledger.contains(job.req.id) {
+        // A twin settled while this one was in flight — real-runtime
+        // semantics the sim cannot exhibit (it settles at dispatch).
+        // Work was burned, nothing else changes.
+        self::count_wasted_twin(engine, job.hedge);
+        return Ok(finish);
+    }
+    engine.metrics.service.record(cost);
+    match admission::breaker_feedback(&done.outcome, job.exact_ok) {
+        Some(true) => {
+            let jitter = engine
+                .rng
+                .gen_range(0..=engine.cfg.breaker.cooldown.max(4) / 4);
+            let tr = engine.breaker.on_fallback(job.dispatched, jitter);
+            engine.surface(tr);
+        }
+        Some(false) => {
+            let tr = engine.breaker.on_exact_success();
+            engine.surface(tr);
+        }
+        None => {}
+    }
+    match done.outcome {
+        Ok(sel) => {
+            let latency = finish - job.enqueued;
+            engine.metrics.latency.record(latency);
+            let met = latency <= job.req.budget;
+            if met {
+                engine.metrics.deadline_met.inc();
+            } else {
+                engine.metrics.deadline_missed.inc();
+            }
+            let degraded = sel.tier != Tier::ExactBfs;
+            if degraded {
+                engine.metrics.degraded.inc();
+            }
+            engine.metrics.completed.inc();
+            engine.settle_terminal(job.req.id, TerminalFate::Completed { met, degraded })?;
+        }
+        Err(_) => {
+            engine.metrics.failed.inc();
+            engine.settle_terminal(job.req.id, TerminalFate::Failed)?;
+        }
+    }
+    Ok(finish)
+}
+
+fn count_wasted_twin(engine: &Engine<'_>, hedge: bool) {
+    if hedge {
+        engine.metrics.hedges_wasted.inc();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wall-pace server
+// ---------------------------------------------------------------------
+
+enum WallMsg {
+    Frame(Message),
+    ReaderDone(Result<(), WireError>),
+    Done(Done),
+}
+
+fn run_wall_server(
+    engine: &mut Engine<'_>,
+    clock: MonoClock,
+    ns_per_tick: u64,
+    rx: mpsc::Receiver<WallMsg>,
+    sessions: &mut u64,
+    frames_received: &mut u64,
+    frames_rejected: &mut u64,
+) -> Result<u64, WireError> {
+    let mut timers = Timers::default();
+    let mut reader_done = false;
+    loop {
+        let now = clock.now();
+        while let Some((_due, req, attempt, hedge)) = timers.pop_due(now) {
+            engine.on_arrival(now, req, attempt, hedge, &mut timers)?;
+        }
+        engine.dispatch_all(clock.now());
+        if reader_done
+            && engine.in_flight == 0
+            && engine.interactive.is_empty()
+            && engine.batch.is_empty()
+            && timers.is_empty()
+        {
+            break;
+        }
+        let timeout = match timers.next_due() {
+            Some(due) => {
+                let ticks = due.saturating_sub(clock.now());
+                Duration::from_nanos(ticks.saturating_mul(ns_per_tick).clamp(50_000, 5_000_000))
+            }
+            None => Duration::from_micros(500),
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(WallMsg::Frame(Message::Hello(Hello { .. }))) => {
+                *sessions += 1;
+                *frames_received += 1;
+                engine.rt_metrics.sessions.inc();
+                engine.rt_metrics.frames_received.inc();
+            }
+            Ok(WallMsg::Frame(Message::Request(r))) => {
+                *frames_received += 1;
+                engine.rt_metrics.frames_received.inc();
+                engine.on_arrival(clock.now(), r.to_request(), 1, false, &mut timers)?;
+            }
+            Ok(WallMsg::Frame(Message::Shutdown)) => {
+                *frames_received += 1;
+                engine.rt_metrics.frames_received.inc();
+            }
+            Ok(WallMsg::Frame(Message::Response(_))) => {
+                // Protocol violation from the client side; reject.
+                *frames_rejected += 1;
+                engine.rt_metrics.frames_rejected.inc();
+            }
+            Ok(WallMsg::ReaderDone(res)) => {
+                res?;
+                reader_done = true;
+            }
+            Ok(WallMsg::Done(done)) => {
+                engine.in_flight -= 1;
+                let worker = done.job.worker;
+                settle_wall(engine, done)?;
+                engine.idle.push_back(worker);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(WireError::Io("wall server channel hung up".into()));
+            }
+        }
+    }
+    Ok(clock.now())
+}
+
+/// Settle one wall-pace completion: the worker already raced the ledger;
+/// the engine mirrors the winner into metrics and the response stream.
+fn settle_wall(engine: &mut Engine<'_>, done: Done) -> Result<(), WireError> {
+    let job = done.job;
+    let cost = admission::price_outcome(
+        &done.outcome,
+        job.exact_ok,
+        job.grant,
+        engine.cfg.ticks_per_candidate,
+    );
+    if !done.settled {
+        count_wasted_twin(engine, job.hedge);
+        return Ok(());
+    }
+    engine.metrics.service.record(cost);
+    match admission::breaker_feedback(&done.outcome, job.exact_ok) {
+        Some(true) => {
+            let jitter = engine
+                .rng
+                .gen_range(0..=engine.cfg.breaker.cooldown.max(4) / 4);
+            let tr = engine.breaker.on_fallback(done.finish_tick, jitter);
+            engine.surface(tr);
+        }
+        Some(false) => {
+            let tr = engine.breaker.on_exact_success();
+            engine.surface(tr);
+        }
+        None => {}
+    }
+    let fate = engine
+        .ledger
+        .get(job.req.id)
+        .expect("worker settled this id");
+    if let TerminalFate::Completed { met, degraded } = fate {
+        let latency = done.finish_tick.saturating_sub(job.enqueued);
+        engine.metrics.latency.record(latency);
+        if met {
+            engine.metrics.deadline_met.inc();
+        } else {
+            engine.metrics.deadline_missed.inc();
+        }
+        if degraded {
+            engine.metrics.degraded.inc();
+        }
+        engine.metrics.completed.inc();
+    } else {
+        engine.metrics.failed.inc();
+    }
+    engine.respond(job.req.id, fate)
+}
+
+// ---------------------------------------------------------------------
+// Top-level runner
+// ---------------------------------------------------------------------
+
+/// Run the full client/server exchange for one trace and report both
+/// sides. See the module docs for the two pacing modes.
+pub fn run_runtime(
+    instance: &Instance,
+    policy: SelectionPolicy,
+    cfg: &RuntimeConfig,
+    trace: &[ArrivalEvent],
+) -> Result<RuntimeReport, WireError> {
+    let (client, server) = make_transport(cfg.transport)?;
+    let tenants = cfg.tenants.max(1);
+    let trace_owned: Vec<ArrivalEvent> = trace.to_vec();
+    let pace = cfg.pace;
+
+    std::thread::scope(|s| -> Result<RuntimeReport, WireError> {
+        // Client writer: sessions, the paced trace, then shutdown.
+        let writer_chan = client.try_clone()?;
+        let writer = s.spawn(move || -> Result<(), WireError> {
+            let mut w = writer_chan;
+            for t in 0..tenants {
+                write_frame(&mut w, &Message::Hello(Hello { tenant: t }))?;
+            }
+            let origin = Instant::now();
+            for e in &trace_owned {
+                if let Pace::Wall { ns_per_tick } = pace {
+                    let due = Duration::from_nanos(e.tick.saturating_mul(ns_per_tick));
+                    let elapsed = origin.elapsed();
+                    if due > elapsed {
+                        std::thread::sleep(due - elapsed);
+                    }
+                }
+                write_frame(&mut w, &Message::Request(wire_request(e)))?;
+            }
+            write_frame(&mut w, &Message::Shutdown)?;
+            w.close_write();
+            Ok(())
+        });
+
+        // Client reader: tally terminal responses until server EOF.
+        let reader = s.spawn(move || -> Result<ClientTally, WireError> {
+            let mut tally = ClientTally::default();
+            let mut seen = std::collections::HashSet::new();
+            let mut rd = FrameReader::new(client);
+            while let Some(msg) = rd.read_frame()? {
+                if let Message::Response(r) = msg {
+                    tally.responses += 1;
+                    if !seen.insert(r.id) {
+                        tally.duplicates += 1;
+                        continue;
+                    }
+                    match r.outcome {
+                        WireOutcome::Completed { met, .. } => {
+                            tally.completed += 1;
+                            if met {
+                                tally.deadline_met += 1;
+                            }
+                        }
+                        WireOutcome::Shed(_) => tally.shed += 1,
+                        WireOutcome::Failed => tally.failed += 1,
+                    }
+                }
+            }
+            Ok(tally)
+        });
+
+        let out = run_server(s, instance, policy, cfg, server)?;
+
+        writer.join().expect("client writer panicked")?;
+        let tally = reader.join().expect("client reader panicked")?;
+        Ok(RuntimeReport {
+            svc: out.svc,
+            client: tally,
+            frames_received: out.frames_received,
+            frames_rejected: out.frames_rejected,
+            sessions: out.sessions,
+            wall_snapshot: out.wall_snapshot,
+        })
+    })
+}
+
+fn run_server<'scope, 'env>(
+    s: &'scope std::thread::Scope<'scope, 'env>,
+    instance: &'env Instance,
+    policy: SelectionPolicy,
+    cfg: &RuntimeConfig,
+    server: Channel,
+) -> Result<ServerOut, WireError>
+where
+    'env: 'scope,
+{
+    let registry = Registry::new();
+    let metrics = SvcMetrics::in_registry(&registry);
+    let rt_metrics = RuntimeMetrics::in_registry(&registry);
+    metrics.circuit_state.set(CircuitState::Closed.gauge_value());
+    let ledger = Arc::new(TerminalLedger::new());
+    let workers = cfg.svc.workers.max(1);
+
+    // Per-worker job channels + one shared completion channel.
+    let mut job_tx = Vec::with_capacity(workers);
+    let (done_tx, done_rx) = mpsc::channel::<Done>();
+    let (wall_tx, wall_rx) = mpsc::channel::<WallMsg>();
+    let wall = match cfg.pace {
+        Pace::Wall { ns_per_tick } => Some(MonoClock::wall(ns_per_tick.max(1))),
+        Pace::Virtual => None,
+    };
+    for _ in 0..workers {
+        let (tx, rx) = mpsc::channel::<Job>();
+        job_tx.push(tx);
+        let core = CoreMetrics::in_registry(&registry);
+        let inline = wall.map(|clock| InlineSettle {
+            ledger: Arc::clone(&ledger),
+            clock,
+            ns_per_tick: match cfg.pace {
+                Pace::Wall { ns_per_tick } => ns_per_tick.max(1),
+                Pace::Virtual => 1,
+            },
+            metrics: rt_metrics.clone(),
+        });
+        let bfs_workers = cfg.svc.bfs_workers.max(1);
+        // Wall pace routes completions through the unified engine
+        // channel; virtual pace drains the dedicated one.
+        let sink = if wall.is_some() {
+            DoneSink::Wall(wall_tx.clone())
+        } else {
+            DoneSink::Direct(done_tx.clone())
+        };
+        s.spawn(move || {
+            worker_loop(instance, policy, bfs_workers, core, rx, sink, inline);
+        });
+    }
+    drop(done_tx);
+
+    let mut resp_chan = server.try_clone()?;
+    let mut engine = Engine {
+        cfg: cfg.svc,
+        metrics,
+        rt_metrics: rt_metrics.clone(),
+        breaker: CircuitBreaker::new(cfg.svc.breaker),
+        rng: StdRng::seed_from_u64(cfg.svc.seed ^ 0x5e1e_c75e),
+        interactive: VecDeque::new(),
+        batch: VecDeque::new(),
+        idle: (0..workers).collect(),
+        ledger: Arc::clone(&ledger),
+        job_tx,
+        done_rx,
+        resp: &mut resp_chan,
+        next_seq: 0,
+        offered_ids: 0,
+        dispatches: 0,
+        in_flight: 0,
+        registry,
+    };
+
+    let mut sessions = 0u64;
+    let mut frames_received = 0u64;
+    let mut frames_rejected = 0u64;
+
+    let final_tick = match cfg.pace {
+        Pace::Virtual => {
+            // Phase 1: pull the entire trace off the wire (every frame
+            // decoded + digest-checked), then replay deterministically.
+            let mut reader = FrameReader::new(server);
+            let mut arrivals: Vec<(u64, Request)> = Vec::new();
+            loop {
+                match reader.read_frame() {
+                    Ok(Some(Message::Hello(_))) => {
+                        sessions += 1;
+                        frames_received += 1;
+                        engine.rt_metrics.sessions.inc();
+                        engine.rt_metrics.frames_received.inc();
+                    }
+                    Ok(Some(Message::Request(r))) => {
+                        frames_received += 1;
+                        engine.rt_metrics.frames_received.inc();
+                        arrivals.push((r.tick, r.to_request()));
+                    }
+                    Ok(Some(Message::Shutdown)) => {
+                        frames_received += 1;
+                        engine.rt_metrics.frames_received.inc();
+                    }
+                    Ok(Some(Message::Response(_))) => {
+                        frames_rejected += 1;
+                        engine.rt_metrics.frames_rejected.inc();
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // A corrupt frame aborts the whole session: the
+                        // stream is self-authenticating, not self-healing.
+                        engine.rt_metrics.frames_rejected.inc();
+                        return Err(e);
+                    }
+                }
+            }
+            run_virtual_server(&mut engine, arrivals)?
+        }
+        Pace::Wall { ns_per_tick } => {
+            // Reader thread feeds the unified engine channel.
+            let rtx = wall_tx.clone();
+            s.spawn(move || {
+                let mut reader = FrameReader::new(server);
+                loop {
+                    match reader.read_frame() {
+                        Ok(Some(msg)) => {
+                            if rtx.send(WallMsg::Frame(msg)).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => {
+                            let _ = rtx.send(WallMsg::ReaderDone(Ok(())));
+                            return;
+                        }
+                        Err(e) => {
+                            let _ = rtx.send(WallMsg::ReaderDone(Err(e)));
+                            return;
+                        }
+                    }
+                }
+            });
+            drop(wall_tx);
+            let clock = wall.expect("wall pace has a clock");
+            run_wall_server(
+                &mut engine,
+                clock,
+                ns_per_tick.max(1),
+                wall_rx,
+                &mut sessions,
+                &mut frames_received,
+                &mut frames_rejected,
+            )?
+        }
+    };
+
+    // Stop the worker pool (their job senders live in the engine).
+    engine.job_tx.clear();
+    let svc = engine.report(final_tick);
+    let wall_snapshot = engine.registry.snapshot().render_text(Mode::WallClock);
+    drop(engine);
+    resp_chan.close_write();
+    Ok(ServerOut {
+        svc,
+        frames_received,
+        frames_rejected,
+        sessions,
+        wall_snapshot,
+    })
+}

@@ -51,12 +51,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dams_core::{
-    select_with_ladder_exec, BfsBudget, CoreMetrics, Deadline, DegradeBudget, Instance,
-    LadderExec, SelectError, SelectionPolicy, Tier,
+    select_with_ladder_exec, CoreMetrics, Instance, LadderExec, SelectionPolicy, Tier,
 };
 use dams_diversity::TokenId;
 use dams_obs::{Mode, Registry};
 
+use crate::admission;
 use crate::breaker::{BreakerConfig, CircuitBreaker, CircuitState, Transition};
 use crate::obs::SvcMetrics;
 use crate::retry::RetryPolicy;
@@ -474,24 +474,12 @@ impl<'a> Service<'a> {
 
         let (exact_ok, tr) = self.breaker.exact_allowed(now);
         self.surface(tr);
-        let tpc = self.cfg.ticks_per_candidate.max(1);
-        let grant_candidates = if exact_ok {
-            (remaining - self.cfg.reserve_ticks) / tpc
-        } else {
-            0
-        };
-        let ladder: &[Tier] = if exact_ok {
-            &Tier::DEFAULT_LADDER
-        } else {
-            &[Tier::Progressive, Tier::GameTheoretic]
-        };
-        let budget = DegradeBudget {
-            exact_timeout: None,
-            bfs: BfsBudget {
-                deadline: Some(Deadline::Ticks(grant_candidates)),
-                ..BfsBudget::default()
-            },
-        };
+        let grant_candidates = admission::exact_grant(
+            remaining,
+            self.cfg.reserve_ticks,
+            self.cfg.ticks_per_candidate,
+            exact_ok,
+        );
         let exec = LadderExec {
             workers: self.cfg.bfs_workers,
             cache: None,
@@ -500,8 +488,8 @@ impl<'a> Service<'a> {
             self.instance,
             q.req.target,
             self.policy,
-            budget,
-            ladder,
+            admission::grant_budget(grant_candidates),
+            admission::ladder_for(exact_ok),
             &self.core,
             &exec,
         );
@@ -515,53 +503,29 @@ impl<'a> Service<'a> {
             0
         };
 
-        let cost = match &outcome {
-            Ok(sel) => {
-                // Exact answers are priced by the candidates they examined
-                // (≤ grant by the Ticks deadline); a burned exact probe is
-                // priced at its full grant; the answering cheap tier adds
-                // its own work, which the reserve covers by calibration.
-                let exact_part = if sel.tier == Tier::ExactBfs {
-                    sel.selection.stats.candidates_examined.saturating_mul(tpc)
-                } else if exact_ok
-                    && sel
-                        .attempts
-                        .iter()
-                        .any(|(t, e)| *t == Tier::ExactBfs && *e == SelectError::BudgetExhausted)
-                {
-                    grant_candidates.saturating_mul(tpc)
-                } else {
-                    0
-                };
-                let cheap_part = if sel.tier == Tier::ExactBfs {
-                    0
-                } else {
-                    1 + sel.selection.stats.diversity_checks
-                };
-                (exact_part + cheap_part).max(1)
-            }
-            Err(_) => 1,
-        };
+        let cost = admission::price_outcome(
+            &outcome,
+            exact_ok,
+            grant_candidates,
+            self.cfg.ticks_per_candidate,
+        );
         self.metrics.service.record(cost);
         let finish = now + cost + stall;
         self.push_event(finish, EventKind::WorkerFree(worker));
 
         // Breaker feedback: only grants count. A deadline-driven fallback
         // (burned probe or zero-grant skip) strikes; an exact answer heals.
-        if exact_ok {
-            let deadline_fallback = match &outcome {
-                Ok(sel) => sel.tier != Tier::ExactBfs,
-                Err(SelectError::DeadlineInfeasible) => true,
-                Err(_) => false,
-            };
-            if deadline_fallback {
+        match admission::breaker_feedback(&outcome, exact_ok) {
+            Some(true) => {
                 let jitter = self.rng.gen_range(0..=self.cfg.breaker.cooldown.max(4) / 4);
                 let tr = self.breaker.on_fallback(now, jitter);
                 self.surface(tr);
-            } else if matches!(&outcome, Ok(sel) if sel.tier == Tier::ExactBfs) {
+            }
+            Some(false) => {
                 let tr = self.breaker.on_exact_success();
                 self.surface(tr);
             }
+            None => {}
         }
 
         match outcome {

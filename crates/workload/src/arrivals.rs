@@ -1,0 +1,233 @@
+//! Arrival-trace export and replay.
+//!
+//! The overload harness generates seeded open-loop arrival schedules
+//! ([`crate::openloop`]); the differential oracle replays *one* such
+//! schedule through both the virtual-tick service model and the real
+//! runtime and diffs the accounting. That only works if the trace is a
+//! first-class artifact: exportable to a file, re-parsable without loss,
+//! and independent of which side consumes it. This module defines that
+//! artifact.
+//!
+//! The format is a line-oriented TSV with a versioned header:
+//!
+//! ```text
+//! dams-trace v1
+//! # tick  id  tenant  target  class  budget  require_exact
+//! 17      0   0       0       I      4096    0
+//! 17      1   1       1       B      4096    1
+//! ```
+//!
+//! Lines starting with `#` are comments; fields are tab-separated.
+//! Parsing is strict — a malformed field yields a typed
+//! [`TraceError`], never a panic and never a silently skipped row —
+//! because a trace that parses differently on the two sides of the
+//! differential would invalidate the oracle.
+
+/// One request arrival, transport- and service-neutral.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalEvent {
+    /// Virtual arrival tick (wall-clock replays scale this by the
+    /// calibrated ns-per-tick).
+    pub tick: u64,
+    /// Caller-unique request id; terminal accounting is per id.
+    pub id: u64,
+    /// Wallet session the request belongs to.
+    pub tenant: u64,
+    /// Target token to build a ring for.
+    pub target: u32,
+    /// Interactive (wallet user waiting) vs batch traffic.
+    pub interactive: bool,
+    /// End-to-end deadline budget in virtual ticks.
+    pub budget: u64,
+    /// Refuse degraded answers (shed instead while the breaker is open).
+    pub require_exact: bool,
+}
+
+/// Why a trace failed to parse (typed so the differential can report the
+/// exact line instead of dying).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The first line was not the `dams-trace v1` header.
+    BadHeader,
+    /// A data line had the wrong number of fields.
+    FieldCount { line: usize, got: usize },
+    /// A field failed to parse.
+    BadField {
+        line: usize,
+        field: &'static str,
+        value: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadHeader => write!(f, "missing `dams-trace v1` header"),
+            TraceError::FieldCount { line, got } => {
+                write!(f, "line {line}: expected 7 fields, got {got}")
+            }
+            TraceError::BadField { line, field, value } => {
+                write!(f, "line {line}: bad {field} {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+const HEADER: &str = "dams-trace v1";
+
+/// Render a trace to its canonical text form. `parse_trace` inverts this
+/// exactly (the round-trip property the tests pin down).
+pub fn render_trace(events: &[ArrivalEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 24 + 64);
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str("# tick\tid\ttenant\ttarget\tclass\tbudget\trequire_exact\n");
+    for e in events {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            e.tick,
+            e.id,
+            e.tenant,
+            e.target,
+            if e.interactive { "I" } else { "B" },
+            e.budget,
+            u8::from(e.require_exact),
+        ));
+    }
+    out
+}
+
+/// Parse a trace rendered by [`render_trace`]. Strict: any malformed
+/// line is a typed error.
+pub fn parse_trace(text: &str) -> Result<Vec<ArrivalEvent>, TraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == HEADER => {}
+        _ => return Err(TraceError::BadHeader),
+    }
+    let mut out = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split('\t').collect();
+        if fields.len() != 7 {
+            return Err(TraceError::FieldCount {
+                line: line_no,
+                got: fields.len(),
+            });
+        }
+        let num = |field: &'static str, v: &str| -> Result<u64, TraceError> {
+            v.parse().map_err(|_| TraceError::BadField {
+                line: line_no,
+                field,
+                value: v.into(),
+            })
+        };
+        let interactive = match fields[4] {
+            "I" => true,
+            "B" => false,
+            other => {
+                return Err(TraceError::BadField {
+                    line: line_no,
+                    field: "class",
+                    value: other.into(),
+                })
+            }
+        };
+        let require_exact = match fields[6] {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(TraceError::BadField {
+                    line: line_no,
+                    field: "require_exact",
+                    value: other.into(),
+                })
+            }
+        };
+        out.push(ArrivalEvent {
+            tick: num("tick", fields[0])?,
+            id: num("id", fields[1])?,
+            tenant: num("tenant", fields[2])?,
+            target: u32::try_from(num("target", fields[3])?).map_err(|_| {
+                TraceError::BadField {
+                    line: line_no,
+                    field: "target",
+                    value: fields[3].into(),
+                }
+            })?,
+            interactive,
+            budget: num("budget", fields[5])?,
+            require_exact,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<ArrivalEvent> {
+        (0..5)
+            .map(|i| ArrivalEvent {
+                tick: 10 * i + 1,
+                id: i,
+                tenant: i % 3,
+                target: (i % 4) as u32,
+                interactive: i % 2 == 0,
+                budget: 4096 + i,
+                require_exact: i == 3,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let events = sample();
+        let text = render_trace(&events);
+        assert_eq!(parse_trace(&text).expect("parses"), events);
+        // Render → parse → render is a fixed point.
+        assert_eq!(render_trace(&parse_trace(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn header_is_required() {
+        assert_eq!(parse_trace("1\t2\t3"), Err(TraceError::BadHeader));
+        assert_eq!(parse_trace(""), Err(TraceError::BadHeader));
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        let bad_count = "dams-trace v1\n1\t2\t3\n";
+        assert!(matches!(
+            parse_trace(bad_count),
+            Err(TraceError::FieldCount { line: 2, got: 3 })
+        ));
+        let bad_class = "dams-trace v1\n1\t2\t0\t0\tX\t9\t0\n";
+        assert!(matches!(
+            parse_trace(bad_class),
+            Err(TraceError::BadField { field: "class", .. })
+        ));
+        let bad_num = "dams-trace v1\n1\tnope\t0\t0\tI\t9\t0\n";
+        assert!(matches!(
+            parse_trace(bad_num),
+            Err(TraceError::BadField { field: "id", .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "dams-trace v1\n# comment\n\n5\t0\t0\t1\tB\t64\t1\n";
+        let events = parse_trace(text).expect("parses");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].tick, 5);
+        assert!(!events[0].interactive);
+        assert!(events[0].require_exact);
+    }
+}

@@ -9,8 +9,11 @@
 //! * [`chainload`] — materialise a workload on the actual blockchain
 //!   substrate (mint tokens, commit ring transactions end-to-end);
 //! * [`openloop`] — deterministic open-loop arrival schedules (smooth or
-//!   bursty) for the selection service's overload experiments.
+//!   bursty) for the selection service's overload experiments;
+//! * [`arrivals`] — the arrival-trace artifact (export/replay) the
+//!   sim-vs-real differential oracle feeds to both sides.
 
+pub mod arrivals;
 pub mod chainload;
 pub mod openloop;
 pub mod simulation;
@@ -19,6 +22,7 @@ pub mod sampler;
 pub mod synthetic;
 pub mod trace;
 
+pub use arrivals::{parse_trace, render_trace, ArrivalEvent, TraceError};
 pub use openloop::{shard_round_robin, OpenLoop};
 pub use real::{monero_snapshot, output_histogram};
 pub use sampler::{measure, measure_framework, MeasuredPoint};

@@ -86,6 +86,40 @@ if grep -q "verdict: DIVERGED" CLUSTER_report.txt; then
 fi
 echo "3-node partition/crash/join scenario converged"
 
+echo "== sim-vs-real differential =="
+# Differential gate: replay the seeded overload trace through the real
+# concurrent runtime (worker threads, wire frames, completion drains)
+# and the virtual-tick model, and require the accounting to match at
+# every load point. The report and ramp land at the repo root for CI
+# artifact upload.
+cli serve --real --seed 42 --loads 1,2,4 \
+  --out BENCH_runtime.json --diff-report DIFF_report.txt
+if [ "$(tail -n 1 DIFF_report.txt)" != "verdict: MATCH" ]; then
+  echo "differential report does not end with verdict: MATCH" >&2
+  exit 1
+fi
+# Flake guard: the virtual-pace runtime is deterministic despite real
+# threads — three back-to-back runs must produce byte-identical reports
+# and ramp rows.
+for i in 1 2 3; do
+  cli serve --real --seed 42 --loads 1,2,4 \
+    --out "$tmpdir/bench_runtime_$i.json" \
+    --diff-report "$tmpdir/diff_report_$i.txt" > /dev/null
+done
+cmp "$tmpdir/diff_report_1.txt" "$tmpdir/diff_report_2.txt"
+cmp "$tmpdir/diff_report_1.txt" "$tmpdir/diff_report_3.txt"
+cmp "$tmpdir/bench_runtime_1.json" "$tmpdir/bench_runtime_2.json"
+cmp "$tmpdir/bench_runtime_1.json" "$tmpdir/bench_runtime_3.json"
+cmp "$tmpdir/diff_report_1.txt" DIFF_report.txt
+echo "3x back-to-back differential runs byte-identical"
+# The wire protocol is transport-agnostic: the same trace over loopback
+# TCP must also match the model.
+cli serve --real --seed 42 --loads 4 --transport tcp \
+  --out "$tmpdir/bench_runtime_tcp.json" \
+  --diff-report "$tmpdir/diff_report_tcp.txt" > /dev/null
+grep -q "verdict: MATCH" "$tmpdir/diff_report_tcp.txt"
+echo "loopback-TCP transport matches the model"
+
 echo "== bench snapshot =="
 ./scripts/bench_snapshot.sh BENCH_baseline.json 42
 
