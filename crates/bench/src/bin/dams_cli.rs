@@ -5,10 +5,11 @@
 //! dams-cli attack  --rings "1,2;1,2;2,3"
 //! dams-cli audit   --spends 5 [--seed N]
 //! dams-cli hardness --rings "1,2;1,2;2,3,4"
-//! dams-cli bench   [--out BENCH_baseline.json] [--selection-out BENCH_selection.json] [--seed N]
+//! dams-cli bench   [--out BENCH_baseline.json] [--selection-out BENCH_selection.json] [--seed N] [--tokens N]
 //! dams-cli run     --store-dir DIR [--blocks N] [--seed N] [--crash-after-appends N]
 //! dams-cli recover --store-dir DIR
 //! dams-cli serve-sim [--seed N] [--workers N] [--requests N] [--loads "1,2,4"] [--out BENCH_overload.json]
+//! dams-cli serve-sim --soak [--seed N] [--tokens N] [--requests N] [--out BENCH_soak.json]
 //! dams-cli serve --real [--seed N] [--workers N] [--requests N] [--loads "1,2,4"] [--transport duplex|tcp]
 //!                [--tenants N] [--out BENCH_runtime.json] [--diff-report DIFF_report.txt] [--trace-out FILE]
 //! dams-cli cluster-sim [--seed N] [--node-counts "1,3,5"] [--out BENCH_cluster.json] [--report CLUSTER_report.txt]
@@ -27,7 +28,12 @@
 //!   algorithm, the degrade ladder, and the faulted node simulation, then
 //!   write the full metrics snapshot to a JSON baseline file. Also runs
 //!   the selection perf figure (optimized engines vs. seed references)
-//!   and writes its rows to `--selection-out`.
+//!   and writes its rows to `--selection-out`, including the streaming
+//!   rows: chains of 10³ … `--tokens` tokens (default 10⁶) grown through
+//!   the incremental diversity index, with per-block maintenance cost
+//!   and served-request percentiles per size. `--tokens` accepts only
+//!   the published decade sizes and errors on anything else — a silently
+//!   clamped size would mislabel the measurement.
 //! * `run` — mine coinbase blocks up to height `--blocks` into a durable
 //!   on-disk store
 //!   (`wal.bin` + `checkpoint.bin` under `--store-dir`): each block is
@@ -48,7 +54,12 @@
 //!   deadline propagation, and circuit breaking, driven by a bursty
 //!   open-loop arrival ramp at each `--loads` multiple of calibrated
 //!   capacity (with injected worker stalls), then write the per-load rows
-//!   (goodput, typed sheds, latency quantiles) to `--out`.
+//!   (goodput, typed sheds, latency quantiles) to `--out`. With `--soak`
+//!   it instead runs the streaming soak: grow a chain decade by decade to
+//!   `--tokens` through the incremental diversity index while serving
+//!   `--requests` selections per decade through one frontend, write the
+//!   per-phase rows to `--out` (default `BENCH_soak.json`), and exit
+//!   non-zero unless p99 work and per-block maintenance stay flat.
 //! * `serve --real` — run the *real* concurrent runtime front end: the
 //!   same seeded trace a `serve-sim` scenario would replay is exported
 //!   to the wire (length-prefixed self-authenticating frames over an
@@ -242,6 +253,58 @@ fn main() {
             }
             return;
         }
+        "serve-sim" if args.iter().any(|a| a == "--soak") => {
+            let out = get("--out").unwrap_or_else(|| "BENCH_soak.json".into());
+            let requests: usize = get("--requests").and_then(|v| v.parse().ok()).unwrap_or(200);
+            let max_tokens = parse_supported_tokens(get("--tokens"));
+            let phases: Vec<u64> = SUPPORTED_TOKEN_SIZES
+                .iter()
+                .copied()
+                .filter(|&n| n <= max_tokens)
+                .collect();
+            let cfg = dams_svc::SoakConfig {
+                seed,
+                phases,
+                requests_per_phase: requests,
+                ..dams_svc::SoakConfig::default()
+            };
+            let report = dams_svc::run_soak(&cfg);
+            for p in &report.phases {
+                println!(
+                    "{} tokens ({} blocks, {} batches): {} served / {} shed | \
+                     maintenance ops max {} mean {:.1} | work p50 {} p99 {} | \
+                     latency p50 {}ns p99 {}ns | rebuild baseline {}ns",
+                    p.tokens,
+                    p.blocks,
+                    p.batches,
+                    p.completed,
+                    p.shed,
+                    p.max_block_ops,
+                    p.mean_block_ops,
+                    p.p50_work,
+                    p.p99_work,
+                    p.p50_request_ns,
+                    p.p99_request_ns,
+                    p.snapshot_rebuild_ns,
+                );
+            }
+            let p99_flat = report.p99_flat(dams_svc::P99_TOLERANCE);
+            let maintenance_flat = report.maintenance_flat(dams_svc::MAINTENANCE_TOLERANCE);
+            let json = dams_svc::render_soak_json(&cfg, &report);
+            if let Err(e) = std::fs::write(&out, &json) {
+                die(&format!("cannot write {out}: {e}"));
+            }
+            println!(
+                "wrote {out} ({} phases) — p99 flat: {p99_flat}, maintenance flat: \
+                 {maintenance_flat}",
+                report.phases.len()
+            );
+            print_metrics(metrics_format);
+            if !(p99_flat && maintenance_flat) {
+                std::process::exit(1);
+            }
+            return;
+        }
         "serve-sim" => {
             let out = get("--out").unwrap_or_else(|| "BENCH_overload.json".into());
             let workers: usize = get("--workers").and_then(|v| v.parse().ok()).unwrap_or(2);
@@ -398,17 +461,26 @@ fn main() {
             let out = get("--out").unwrap_or_else(|| "BENCH_baseline.json".into());
             let selection_out = get("--selection-out")
                 .unwrap_or_else(|| "BENCH_selection.json".into());
+            let max_tokens = parse_supported_tokens(get("--tokens"));
+            let sizes: Vec<u64> = SUPPORTED_TOKEN_SIZES
+                .iter()
+                .copied()
+                .filter(|&n| n <= max_tokens)
+                .collect();
             run_bench_workload(seed);
             // The selection figure runs before the snapshot is written so
             // its cache traffic (core.cache.*) lands in the baseline too.
-            let figure = dams_bench::selection_figure(seed);
+            let figure = dams_bench::selection_figure(seed).with_streaming(&sizes, 200);
             if let Err(e) = std::fs::write(&selection_out, figure.render_json()) {
                 die(&format!("cannot write {selection_out}: {e}"));
             }
+            let (p99_flat, maintenance_flat) = figure.streaming_flat();
             println!(
-                "wrote {selection_out} (exact_bfs {:.2}x, tm_g {:.2}x)",
+                "wrote {selection_out} (exact_bfs {:.2}x, tm_g {:.2}x; streaming to {} \
+                 tokens, p99 flat: {p99_flat}, maintenance flat: {maintenance_flat})",
                 figure.exact_bfs.speedup(),
-                figure.tm_g.speedup()
+                figure.tm_g.speedup(),
+                figure.streaming.last().map_or(0, |p| p.tokens),
             );
             let snapshot = dams_obs::global().snapshot();
             let json = snapshot.render_json(Mode::Full);
@@ -420,6 +492,33 @@ fn main() {
         _ => usage(),
     }
     print_metrics(metrics_format);
+}
+
+/// Chain sizes (tokens) the streaming rows are published at. Other sizes
+/// are refused, never clamped: a silently clamped `--tokens 500000` would
+/// label a 10⁵ measurement as 5·10⁵.
+const SUPPORTED_TOKEN_SIZES: [u64; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// Parse `--tokens`; absent means the full 10⁶ sweep. Unsupported sizes
+/// are an error listing the supported ones.
+fn parse_supported_tokens(flag: Option<String>) -> u64 {
+    let Some(raw) = flag else {
+        return *SUPPORTED_TOKEN_SIZES.last().expect("non-empty");
+    };
+    let n: u64 = raw
+        .parse()
+        .unwrap_or_else(|_| die(&format!("bad --tokens value {raw}")));
+    if !SUPPORTED_TOKEN_SIZES.contains(&n) {
+        die(&format!(
+            "--tokens {n} is not a supported chain size (supported: {}); refusing to clamp",
+            SUPPORTED_TOKEN_SIZES
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    n
 }
 
 /// The `--metrics` flag: `text`, `json`, or (with no / a flag-like value)
@@ -739,6 +838,7 @@ fn usage() -> ! {
          \x20      dams-cli run --store-dir DIR [--blocks N] [--seed N] [--crash-after-appends N]\n\
          \x20      dams-cli recover --store-dir DIR   replay checkpoint + WAL, print recovery report\n\
          \x20      dams-cli serve-sim [--seed N] [--workers N] [--requests N] [--loads \"1,2,4\"] [--out FILE]\n\
+         \x20      dams-cli serve-sim --soak [--seed N] [--tokens 1000|10000|100000|1000000] [--requests N] [--out FILE]\n\
          \x20      dams-cli serve --real [--seed N] [--workers N] [--requests N] [--loads \"1,2,4\"]\n\
          \x20                    [--transport duplex|tcp] [--tenants N] [--out FILE] [--diff-report FILE] [--trace-out FILE]\n\
          \x20      dams-cli cluster-sim [--seed N] [--node-counts \"1,3,5\"] [--out FILE] [--report FILE]\n\

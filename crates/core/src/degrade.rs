@@ -203,6 +203,13 @@ pub struct LadderExec<'a> {
     pub workers: usize,
     /// Shared candidate-outcome cache consulted by the exact tier.
     pub cache: Option<&'a EvalCache>,
+    /// A precomputed modular view of the instance being served. When set,
+    /// the approximation tiers use it directly instead of running the
+    /// O(n²) [`ModularInstance::decompose`] per call. The caller promises
+    /// it equals `ModularInstance::decompose(instance)` — the streaming
+    /// index maintains exactly that invariant (checked by its
+    /// recompute-equivalence oracle), so verdicts stay bit-identical.
+    pub modular: Option<&'a ModularInstance>,
 }
 
 /// [`select_with_ladder_observed`] with explicit execution knobs.
@@ -265,15 +272,21 @@ pub fn select_with_ladder_exec(
                 }
             }
             Tier::Progressive | Tier::GameTheoretic => {
-                let mi = modular.get_or_insert_with(|| {
-                    ModularInstance::decompose(instance)
-                        // A non-laminar history violates the first
-                        // practical configuration, so no modular ring can
-                        // be built for it: infeasible at this tier.
-                        .map_err(|_| SelectError::Infeasible)
-                });
+                let mi: Result<&ModularInstance, SelectError> = match exec.modular {
+                    Some(prepared) => Ok(prepared),
+                    None => modular
+                        .get_or_insert_with(|| {
+                            ModularInstance::decompose(instance)
+                                // A non-laminar history violates the first
+                                // practical configuration, so no modular ring
+                                // can be built for it: infeasible at this tier.
+                                .map_err(|_| SelectError::Infeasible)
+                        })
+                        .as_ref()
+                        .map_err(Clone::clone),
+                };
                 match mi {
-                    Err(e) => Err(e.clone()),
+                    Err(e) => Err(e),
                     Ok(mi) => {
                         let params = RatioParams::of(mi);
                         let req = policy.effective();
@@ -570,7 +583,7 @@ mod tests {
                     budget,
                     &Tier::DEFAULT_LADDER,
                     &metrics,
-                    &LadderExec { workers, cache: None },
+                    &LadderExec { workers, ..LadderExec::default() },
                 )
                 .unwrap();
                 assert_eq!(sel.tier == Tier::ExactBfs, expect_exact, "ticks={ticks}");

@@ -245,7 +245,35 @@ impl ModularInstance {
     /// Panics when modules overlap or do not cover the universe — workload
     /// construction bugs, not runtime conditions.
     pub fn from_modules(universe: TokenUniverse, modules: Vec<Module>) -> Self {
+        let subset_counts = modules
+            .iter()
+            .map(|m| match m.kind {
+                ModuleKind::SuperRs(_) => 1,
+                ModuleKind::FreshToken => 0,
+            })
+            .collect();
+        Self::from_modules_with_counts(universe, modules, subset_counts)
+    }
+
+    /// [`Self::from_modules`] with explicit subset counts `v_i`, for callers
+    /// (the streaming index, incremental histories) that track how many
+    /// committed rings each super RS swallowed. [`Self::decompose`] derives
+    /// the same counts from the raw ring history; supplying them here keeps
+    /// an incrementally maintained view bit-identical to a decomposition.
+    ///
+    /// Panics when modules overlap, do not cover the universe, or the count
+    /// list is misaligned — construction bugs, not runtime conditions.
+    pub fn from_modules_with_counts(
+        universe: TokenUniverse,
+        modules: Vec<Module>,
+        subset_counts: Vec<usize>,
+    ) -> Self {
         let n = universe.len();
+        assert_eq!(
+            modules.len(),
+            subset_counts.len(),
+            "one subset count per module"
+        );
         let mut module_of: Vec<Option<ModuleId>> = vec![None; n];
         for m in &modules {
             for &t in m.tokens.tokens() {
@@ -256,13 +284,6 @@ impl ModularInstance {
                 );
             }
         }
-        let subset_counts = modules
-            .iter()
-            .map(|m| match m.kind {
-                ModuleKind::SuperRs(_) => 1,
-                ModuleKind::FreshToken => 0,
-            })
-            .collect();
         ModularInstance {
             universe,
             module_of: module_of

@@ -54,6 +54,7 @@ pub mod degrade;
 pub mod game;
 pub mod glossary;
 pub mod history;
+pub mod index;
 pub mod instance;
 pub mod obs;
 pub mod parallel;
@@ -77,7 +78,11 @@ pub use game::{
     game_theoretic, game_theoretic_from, game_theoretic_reference, game_theoretic_with,
     InitStrategy,
 };
-pub use history::ModularHistory;
+pub use history::{AbsorbError, ModularHistory};
+pub use index::{
+    recompute_equivalence, BatchSnapshot, BlockDelta, DeltaRing, DiversityIndex, IndexError,
+    IndexStats, IndexedSelection,
+};
 pub use instance::{DecomposeError, Instance, ModularInstance, Module, ModuleId, ModuleKind};
 pub use obs::CoreMetrics;
 pub use parallel::generate_parallel;

@@ -7,6 +7,7 @@
 //! never its process.
 
 use dams_blockchain::{ChainError, CodecError, VerifyError};
+use dams_core::IndexError;
 use dams_store::StoreError;
 
 /// Why a node-layer operation failed.
@@ -32,6 +33,14 @@ pub enum NodeError {
     /// A catch-up frame failed authentication or was structurally
     /// malformed; the sync attempt is abandoned, never partially applied.
     SyncRejected { reason: &'static str },
+    /// The incremental diversity index rejected an update — the chain and
+    /// the index would disagree, so the operation is refused instead of
+    /// serving stale verdicts.
+    Index(IndexError),
+    /// A reorg rollback was requested on a node without a durable store;
+    /// only [`dams_store::Store::rollback_to`] can attest that no
+    /// committed RS is removed.
+    RollbackNeedsStore,
 }
 
 impl std::fmt::Display for NodeError {
@@ -52,6 +61,10 @@ impl std::fmt::Display for NodeError {
             NodeError::Store(e) => write!(f, "durable store failed: {e}"),
             NodeError::SyncRejected { reason } => {
                 write!(f, "catch-up frame rejected: {reason}")
+            }
+            NodeError::Index(e) => write!(f, "diversity index out of step: {e}"),
+            NodeError::RollbackNeedsStore => {
+                write!(f, "rollback requires a durable store to attest RS immutability")
             }
         }
     }
@@ -83,6 +96,12 @@ impl From<StoreError> for NodeError {
     }
 }
 
+impl From<IndexError> for NodeError {
+    fn from(e: IndexError) -> Self {
+        NodeError::Index(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +128,8 @@ mod tests {
             NodeError::SyncRejected {
                 reason: "bundle digest mismatch",
             },
+            IndexError::NothingToRollBack.into(),
+            NodeError::RollbackNeedsStore,
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

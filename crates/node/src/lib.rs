@@ -15,6 +15,7 @@ pub mod auditor;
 pub mod error;
 pub mod faults;
 pub mod gossip;
+pub mod indexing;
 pub mod network;
 pub mod obs;
 pub mod report;
@@ -30,6 +31,7 @@ pub use faults::{
     run_faulted_simulation, FaultChannel, FaultConfig, FaultReport, FaultStats, FaultyBus,
 };
 pub use gossip::{run_cluster_scenario, Cluster, ClusterReport, GossipStats};
+pub use indexing::{block_delta, index_of_chain};
 pub use network::{BlockAnnouncement, Bus, NodeLimits, NodeStats, SimNode};
 pub use sync::{bootstrap_from_bundle, catch_up_tail, recheck_node, serve_bundle, SyncReport};
 pub use obs::NodeMetrics;
@@ -37,4 +39,4 @@ pub use report::render_report;
 pub use validate::{validate_ring, Verdict};
 pub use verifier::{AllOf, RecencyConfiguration, TokenMagicConfiguration};
 pub use views::{BatchProvider, FullNode, LightNode};
-pub use wallet::{Wallet, WalletError};
+pub use wallet::{SpendSession, Wallet, WalletError};

@@ -13,11 +13,13 @@
 use std::collections::VecDeque;
 
 use dams_blockchain::{block_to_bytes, decode_block, BatchList, Block, Chain, NoConfiguration};
+use dams_core::DiversityIndex;
 use dams_crypto::sha256::Digest;
 use dams_crypto::SchnorrGroup;
 use dams_store::{Backend, Recovered, RecoveryReport, Store, StoreConfig, StoreError};
 
 use crate::error::NodeError;
+use crate::indexing::{block_delta, index_of_chain};
 use crate::obs::NodeMetrics;
 
 /// A network message: one block, addressed to everyone (gossip).
@@ -94,6 +96,10 @@ pub struct SimNode {
     /// Optional durable store. When attached, every adoption is atomic
     /// across crashes: WAL-append → fsync → apply.
     store: Option<Store>,
+    /// Optional incremental diversity index, kept in lock-step with the
+    /// chain: O(Δ) maintenance on every adoption, journaled rollback on
+    /// reorg, full rebuild only on enable / store attach.
+    index: Option<DiversityIndex>,
 }
 
 impl std::fmt::Debug for SimNode {
@@ -106,6 +112,7 @@ impl std::fmt::Debug for SimNode {
             .field("tick", &self.tick)
             .field("stats", &self.stats)
             .field("durable", &self.store.is_some())
+            .field("indexed", &self.index.is_some())
             .finish()
     }
 }
@@ -125,6 +132,7 @@ impl SimNode {
             tick: 0,
             stats: NodeStats::default(),
             store: None,
+            index: None,
         }
     }
 
@@ -164,6 +172,81 @@ impl SimNode {
         self.store.take()
     }
 
+    /// Enable the incremental diversity index at batch parameter λ,
+    /// cold-starting it over the current chain (O(chain), once). Every
+    /// later adoption maintains it O(Δ); reorgs roll it back from its
+    /// journal. Re-enabling replaces any existing index.
+    pub fn enable_index(&mut self, lambda: usize) -> Result<(), NodeError> {
+        NodeMetrics::global().index_rebuilds.inc();
+        self.index = Some(index_of_chain(&self.chain, lambda)?);
+        Ok(())
+    }
+
+    /// The incremental diversity index, if enabled.
+    pub fn index(&self) -> Option<&DiversityIndex> {
+        self.index.as_ref()
+    }
+
+    /// Mutable index access (journal pruning, stats inspection in tests).
+    pub fn index_mut(&mut self) -> Option<&mut DiversityIndex> {
+        self.index.as_mut()
+    }
+
+    /// Drop the index (e.g. to shed memory on a replica that stops
+    /// serving selections).
+    pub fn disable_index(&mut self) -> Option<DiversityIndex> {
+        self.index.take()
+    }
+
+    /// Fold an adopted block into the index. A rejected delta means chain
+    /// and index disagree — defensively rebuild from the chain (the chain
+    /// is authoritative); if even the rebuild fails, drop the index rather
+    /// than serve verdicts from a diverged replica.
+    fn index_adopted(&mut self, delta: &dams_core::BlockDelta) {
+        let Some(index) = &mut self.index else { return };
+        let metrics = NodeMetrics::global();
+        match index.apply_block(delta) {
+            Ok(()) => {
+                metrics.index_blocks_applied.inc();
+                // The store refuses rollbacks below its checkpoint, so
+                // journal entries older than the checkpoint can never be
+                // undone — prune them to keep memory O(reorg horizon).
+                if let Some(store) = &self.store {
+                    let keep = delta.height.saturating_sub(store.checkpoint_height()) + 1;
+                    index.prune_journal(keep as usize);
+                }
+            }
+            Err(_) => {
+                metrics.index_rebuilds.inc();
+                let lambda = index.lambda();
+                self.index = index_of_chain(&self.chain, lambda).ok();
+            }
+        }
+    }
+
+    /// Reorg-safe rollback of chain, store, and index to `target` height.
+    /// Requires a durable store: only [`Store::rollback_to`] attests that
+    /// no committed RS (whose claimed diversity is forever) is removed.
+    /// Returns the number of blocks undone.
+    pub fn rollback_to(&mut self, target: u64) -> Result<usize, NodeError> {
+        let store = self.store.as_mut().ok_or(NodeError::RollbackNeedsStore)?;
+        let before = self.chain.height();
+        self.chain = store.rollback_to(&self.chain, target)?;
+        let undone = before - self.chain.height();
+        if let Some(index) = &mut self.index {
+            match index.rollback_to_height(target) {
+                Ok(n) => NodeMetrics::global().index_rollbacks.add(n as u64),
+                Err(_) => {
+                    // Journal too shallow (pruned past target) — rebuild.
+                    NodeMetrics::global().index_rebuilds.inc();
+                    let lambda = index.lambda();
+                    self.index = index_of_chain(&self.chain, lambda).ok();
+                }
+            }
+        }
+        Ok(undone)
+    }
+
     /// Attach a freshly opened store. The recovered chain must be a
     /// prefix of (or extend) this node's chain: whichever side is longer
     /// wins, and the shorter side is persisted/adopted to match, so node
@@ -183,6 +266,13 @@ impl SimNode {
         }
         if stored.height() > self.chain.height() {
             self.chain = stored;
+            // The store's chain superseded ours: any incremental index is
+            // anchored to the old tip, so re-anchor it over the winner.
+            if let Some(index) = &self.index {
+                NodeMetrics::global().index_rebuilds.inc();
+                let lambda = index.lambda();
+                self.index = index_of_chain(&self.chain, lambda).ok();
+            }
         } else {
             for block in &self.chain.blocks()[stored.height()..] {
                 store.append_block(block)?;
@@ -221,6 +311,7 @@ impl SimNode {
         let block = self.chain.tip()?.clone();
         self.persist_block(&block)?;
         self.after_adopt();
+        self.index_adopted(&block_delta(&block));
         Ok(block)
     }
 
@@ -352,6 +443,10 @@ impl SimNode {
                 break;
             };
             let orphan = self.orphans.swap_remove(pos);
+            // Adoption consumes the block, so project its index delta
+            // first (only when an index is enabled — the projection is
+            // O(Δ) but not free).
+            let delta = self.index.is_some().then(|| block_delta(&orphan.block));
             // Full validation: structure, signatures, key images. Invalid
             // or non-adoptable blocks are discarded, never fatal. A
             // verified block is WAL-persisted *before* it is applied, so
@@ -372,6 +467,9 @@ impl SimNode {
                 continue;
             }
             self.after_adopt();
+            if let Some(delta) = delta {
+                self.index_adopted(&delta);
+            }
             appended += 1;
         }
         appended
@@ -827,6 +925,105 @@ mod tests {
             total += node.parent_requests().len();
         }
         assert_eq!(total, 3, "backoff must cap at max_parent_retries");
+    }
+
+    /// Fingerprint vector of every batch — equal fingerprints mean the
+    /// incremental index and a from-scratch rebuild agree exactly.
+    fn index_fingerprints(index: &dams_core::DiversityIndex) -> Vec<u64> {
+        (0..index.batch_count())
+            .map(|b| index.batch_fingerprint(b))
+            .collect()
+    }
+
+    #[test]
+    fn index_tracks_gossip_adoption_in_lock_step() {
+        let group = SchnorrGroup::default();
+        let mut bus = Bus::new(2, group);
+        bus.nodes[1].enable_index(5).unwrap();
+        mine_and_gossip(&mut bus, 6, 3, 21);
+        bus.settle();
+        assert!(bus.converged());
+        let node = &bus.nodes[1];
+        let index = node.index().expect("index enabled");
+        assert_eq!(index.token_count(), node.chain().token_count() as u64);
+        assert_eq!(
+            index.last_height(),
+            Some(node.chain().height() as u64 - 1),
+            "index must sit exactly at the adopted tip"
+        );
+        let rebuilt = crate::indexing::index_of_chain(node.chain(), 5).unwrap();
+        assert_eq!(index_fingerprints(index), index_fingerprints(&rebuilt));
+        // Genesis replayed at enable time + 6 gossiped blocks, all O(Δ).
+        assert_eq!(index.stats().blocks_applied, 7, "O(Δ) path, not rebuilds");
+    }
+
+    #[test]
+    fn sealing_maintains_the_miners_index() {
+        let group = SchnorrGroup::default();
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut node = SimNode::new(0, group);
+        node.enable_index(4).unwrap();
+        for _ in 0..5 {
+            let outs = vec![TokenOutput {
+                owner: KeyPair::generate(&group, &mut rng).public,
+                amount: Amount(1),
+            }];
+            node.chain_mut().submit_coinbase(outs);
+            node.seal_block().unwrap();
+        }
+        let index = node.index().unwrap();
+        assert_eq!(index.token_count(), 5);
+        let rebuilt = crate::indexing::index_of_chain(node.chain(), 4).unwrap();
+        assert_eq!(index_fingerprints(index), index_fingerprints(&rebuilt));
+    }
+
+    #[test]
+    fn rollback_without_store_is_refused() {
+        let group = SchnorrGroup::default();
+        let mut node = SimNode::new(0, group);
+        assert_eq!(node.rollback_to(0).unwrap_err(), NodeError::RollbackNeedsStore);
+    }
+
+    #[test]
+    fn rollback_rewinds_chain_store_and_index_together() {
+        let group = SchnorrGroup::default();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut node = SimNode::new(0, group);
+        let recovered = dams_store::Store::open(
+            Box::new(dams_store::MemBackend::new()),
+            Box::new(dams_store::MemBackend::new()),
+            group,
+            StoreConfig {
+                checkpoint_interval: 0,
+            },
+        )
+        .unwrap();
+        node.attach_store(recovered).unwrap();
+        node.enable_index(3).unwrap();
+        for _ in 0..6 {
+            let outs = vec![TokenOutput {
+                owner: KeyPair::generate(&group, &mut rng).public,
+                amount: Amount(1),
+            }];
+            node.chain_mut().submit_coinbase(outs);
+            node.seal_block().unwrap();
+        }
+        let undone = node.rollback_to(3).unwrap();
+        assert_eq!(undone, 3);
+        assert_eq!(node.chain().height(), 4);
+        let index = node.index().expect("index survives rollback");
+        assert_eq!(index.last_height(), Some(3));
+        assert_eq!(index.token_count(), 3);
+        let rebuilt = crate::indexing::index_of_chain(node.chain(), 3).unwrap();
+        assert_eq!(index_fingerprints(index), index_fingerprints(&rebuilt));
+        // Re-extend after the reorg: the same index keeps tracking.
+        let outs = vec![TokenOutput {
+            owner: KeyPair::generate(&group, &mut rng).public,
+            amount: Amount(1),
+        }];
+        node.chain_mut().submit_coinbase(outs);
+        node.seal_block().unwrap();
+        assert_eq!(node.index().unwrap().token_count(), 4);
     }
 
     #[test]

@@ -83,6 +83,15 @@ pub struct NodeMetrics {
     /// `node.sync.rejected_total` — catch-up frames refused
     /// (authentication or structural failure).
     pub sync_rejected: Counter,
+    /// `node.index.blocks_applied_total` — blocks folded into a replica's
+    /// incremental diversity index on the adoption path (O(Δ) each).
+    pub index_blocks_applied: Counter,
+    /// `node.index.rollbacks_total` — blocks undone from an index by a
+    /// reorg rollback.
+    pub index_rollbacks: Counter,
+    /// `node.index.rebuilds_total` — full O(chain) index rebuilds (enable,
+    /// store attach, or defensive re-anchor after a desync).
+    pub index_rebuilds: Counter,
 }
 
 impl NodeMetrics {
@@ -117,6 +126,9 @@ impl NodeMetrics {
             sync_tail_verified: registry.counter("node.sync.tail_verified_total"),
             sync_tail_blocks: registry.counter("node.sync.tail_blocks_total"),
             sync_rejected: registry.counter("node.sync.rejected_total"),
+            index_blocks_applied: registry.counter("node.index.blocks_applied_total"),
+            index_rollbacks: registry.counter("node.index.rollbacks_total"),
+            index_rebuilds: registry.counter("node.index.rebuilds_total"),
         }
     }
 

@@ -17,8 +17,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dams_core::{
-    select_with_ladder_exec, CoreMetrics, DegradedSelection, Instance, LadderExec, SelectionPolicy,
-    Tier,
+    select_with_ladder_exec, CoreMetrics, DegradedSelection, Instance, LadderExec,
+    ModularInstance, SelectionPolicy, Tier,
 };
 use dams_diversity::TokenId;
 use dams_obs::Registry;
@@ -119,6 +119,24 @@ impl<'a> Frontend<'a> {
         budget_ticks: u64,
         require_exact: bool,
     ) -> Result<DegradedSelection, ShedReason> {
+        let instance = self.instance;
+        self.select_on(instance, None, target, budget_ticks, require_exact)
+    }
+
+    /// Like [`Frontend::select`], but against an explicit `instance` —
+    /// the multi-batch serving path: one frontend (one breaker, one tick
+    /// economy) serves selections over whichever batch each request
+    /// targets. `modular` optionally supplies an incrementally maintained
+    /// partition (e.g. a [`dams_core::BatchSnapshot`]'s), so the
+    /// approximation tiers skip their O(n²) decomposition entirely.
+    pub fn select_on(
+        &mut self,
+        instance: &Instance,
+        modular: Option<&ModularInstance>,
+        target: TokenId,
+        budget_ticks: u64,
+        require_exact: bool,
+    ) -> Result<DegradedSelection, ShedReason> {
         self.metrics.offered.inc();
         if budget_ticks < self.cfg.reserve_ticks {
             self.metrics.shed_deadline_infeasible.inc();
@@ -139,7 +157,7 @@ impl<'a> Frontend<'a> {
             exact_ok,
         );
         let outcome = select_with_ladder_exec(
-            self.instance,
+            instance,
             target,
             self.policy,
             admission::grant_budget(grant),
@@ -148,6 +166,7 @@ impl<'a> Frontend<'a> {
             &LadderExec {
                 workers: self.cfg.bfs_workers,
                 cache: None,
+                modular,
             },
         );
 

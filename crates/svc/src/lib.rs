@@ -25,6 +25,9 @@
 //! * [`cluster`] — the scale-out harness: the same seeded schedule
 //!   sharded round-robin across N replica services, for the cluster
 //!   goodput rows of `BENCH_cluster.json`.
+//! * [`soak`] — the streaming soak harness: grows a chain from 10³ to
+//!   10⁶ tokens through the incremental diversity index and proves the
+//!   per-request p99 stays flat (`BENCH_soak.json`).
 //! * [`obs`] — the `svc.*` metric family.
 //!
 //! Everything runs on a virtual tick clock from explicit seeds, so an
@@ -43,6 +46,7 @@ pub mod overload;
 pub mod retry;
 pub mod runtime;
 pub mod service;
+pub mod soak;
 pub mod wire;
 
 pub use breaker::{BreakerConfig, CircuitBreaker, CircuitState, Transition};
@@ -64,6 +68,10 @@ pub use overload::{
 };
 pub use retry::RetryPolicy;
 pub use service::{Priority, Request, Service, ShedReason, SvcConfig, SvcReport};
+pub use soak::{
+    render_soak_json, run_soak, SoakConfig, SoakPhase, SoakReport, MAINTENANCE_TOLERANCE,
+    P99_TOLERANCE,
+};
 pub use wire::{
     decode_frame, duplex_pair, write_frame, DuplexEnd, FrameReader, Hello, Message, WireError,
     WireOutcome, WireRequest, WireResponse,

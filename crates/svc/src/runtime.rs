@@ -387,6 +387,7 @@ fn worker_loop(
     let exec = LadderExec {
         workers: bfs_workers,
         cache: None,
+        modular: None,
     };
     while let Ok(job) = jobs.recv() {
         let started = Instant::now();

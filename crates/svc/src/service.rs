@@ -483,6 +483,7 @@ impl<'a> Service<'a> {
         let exec = LadderExec {
             workers: self.cfg.bfs_workers,
             cache: None,
+            modular: None,
         };
         let outcome = select_with_ladder_exec(
             self.instance,

@@ -19,6 +19,7 @@ pub mod openloop;
 pub mod simulation;
 pub mod real;
 pub mod sampler;
+pub mod streaming;
 pub mod synthetic;
 pub mod trace;
 
@@ -27,5 +28,6 @@ pub use openloop::{shard_round_robin, OpenLoop};
 pub use real::{monero_snapshot, output_histogram};
 pub use sampler::{measure, measure_framework, MeasuredPoint};
 pub use simulation::{simulate_batch, SimulationConfig, SimulationOutcome};
+pub use streaming::{ChainStream, StreamConfig};
 pub use synthetic::{small_universe, HtModel, SyntheticConfig};
 pub use trace::{run_trace, TraceConfig, TraceOutcome};

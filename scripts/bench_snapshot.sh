@@ -4,13 +4,14 @@
 # ladder, and the faulted node simulation) plus BENCH_selection.json
 # (the selection perf figure: optimized engines vs. seed references).
 #
-#   scripts/bench_snapshot.sh [OUT] [SEED] [SELECTION_OUT] [OVERLOAD_OUT] [CLUSTER_OUT]
+#   scripts/bench_snapshot.sh [OUT] [SEED] [SELECTION_OUT] [OVERLOAD_OUT] [CLUSTER_OUT] [SOAK_OUT]
 #
 # OUT defaults to BENCH_baseline.json at the repo root; SEED to 42;
 # SELECTION_OUT to BENCH_selection.json; OVERLOAD_OUT (the overload
 # service load ramp) to BENCH_overload.json; CLUSTER_OUT (goodput and
 # convergence vs cluster size) to BENCH_cluster.json, with the per-size
-# convergence reports in CLUSTER_report.txt alongside it.
+# convergence reports in CLUSTER_report.txt alongside it; SOAK_OUT (the
+# streaming soak: flat p99 from 10^3 to 10^6 tokens) to BENCH_soak.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,11 +20,17 @@ SEED="${2:-42}"
 SELECTION_OUT="${3:-BENCH_selection.json}"
 OVERLOAD_OUT="${4:-BENCH_overload.json}"
 CLUSTER_OUT="${5:-BENCH_cluster.json}"
+SOAK_OUT="${6:-BENCH_soak.json}"
 
 cargo build --release -q -p dams-bench --bin dams-cli
 ./target/release/dams-cli bench --out "$OUT" --seed "$SEED" \
     --selection-out "$SELECTION_OUT"
 ./target/release/dams-cli serve-sim --out "$OVERLOAD_OUT" --seed "$SEED"
+# The soak exits non-zero itself unless p99 work and per-block
+# maintenance stay flat across the decades; the python gate below
+# re-checks the written artifact independently.
+./target/release/dams-cli serve-sim --soak --out "$SOAK_OUT" \
+    --seed "$SEED" --tokens 1000000
 ./target/release/dams-cli cluster-sim --out "$CLUSTER_OUT" \
     --report CLUSTER_report.txt --node-counts 1,3,5 --seed "$SEED"
 
@@ -72,6 +79,57 @@ for row in ("exact_bfs", "tm_g"):
         sys.exit(f"{path}: {row} speedup {speedup:.2f}x is below the 2x floor")
     print(f"{path}: {row} {speedup:.2f}x (baseline {doc[row]['baseline_ns']} ns, "
           f"optimized {doc[row]['optimized_ns']} ns)")
+
+# Streaming rows: the figure must cover the 10^5 and 10^6 decades, the
+# per-block index maintenance cost must be bounded (chain-length
+# independent), and the deterministic p99 request work must stay flat.
+rows = doc.get("streaming", [])
+if not rows:
+    sys.exit(f"{path} has no streaming rows")
+tokens = [r["tokens"] for r in rows]
+for decade in (100_000, 1_000_000):
+    if not any(decade <= t < 10 * decade for t in tokens):
+        sys.exit(f"{path}: streaming rows {tokens} miss the {decade}-token decade")
+if not doc.get("streaming_p99_flat"):
+    sys.exit(f"{path}: p99 request work grew with the chain: "
+             f"{[r['p99_work'] for r in rows]}")
+if not doc.get("streaming_maintenance_flat"):
+    sys.exit(f"{path}: per-block maintenance grew with the chain: "
+             f"{[r['max_block_ops'] for r in rows]}")
+first, last = rows[0], rows[-1]
+print(f"{path}: streaming {first['tokens']} -> {last['tokens']} tokens, "
+      f"p99 work {first['p99_work']} -> {last['p99_work']}, "
+      f"max block ops {first['max_block_ops']} -> {last['max_block_ops']}")
+EOF
+
+# Soak gate: the dedicated soak artifact must cover 10^3..10^6, hold its
+# own flatness verdicts, and account every request per phase.
+python3 - "$SOAK_OUT" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+phases = doc.get("phases", [])
+if len(phases) < 4:
+    sys.exit(f"{path}: expected the 10^3..10^6 decades, got "
+             f"{[p.get('tokens') for p in phases]}")
+if not doc.get("p99_flat"):
+    sys.exit(f"{path}: p99 not flat: {[p['p99_work'] for p in phases]}")
+if not doc.get("maintenance_flat"):
+    sys.exit(f"{path}: maintenance not flat: "
+             f"{[p['max_block_ops'] for p in phases]}")
+per_phase = doc.get("requests_per_phase", 0)
+for p in phases:
+    if p["completed"] + p["shed"] != per_phase:
+        sys.exit(f"{path}: phase {p['tokens']} lost requests: {p}")
+    if p["completed"] == 0:
+        sys.exit(f"{path}: phase {p['tokens']} served nothing")
+if phases[-1]["tokens"] < 1_000_000:
+    sys.exit(f"{path}: soak stopped at {phases[-1]['tokens']} tokens")
+print(f"{path}: {len(phases)} phases to {phases[-1]['tokens']} tokens, "
+      f"p99 work {[p['p99_work'] for p in phases]} — flat")
 EOF
 
 # Overload-ramp gate: the service bench must cover the ramp, account for
