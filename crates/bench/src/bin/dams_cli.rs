@@ -13,6 +13,7 @@
 //! dams-cli serve --real [--seed N] [--workers N] [--requests N] [--loads "1,2,4"] [--transport duplex|tcp]
 //!                [--tenants N] [--out BENCH_runtime.json] [--diff-report DIFF_report.txt] [--trace-out FILE]
 //! dams-cli cluster-sim [--seed N] [--node-counts "1,3,5"] [--out BENCH_cluster.json] [--report CLUSTER_report.txt]
+//! dams-cli cluster-sim --byzantine [--seed N] [--honest N] [--max-f N] [--out BENCH_byzantine.json] [--report BYZ_report.txt]
 //! dams-cli --faults 7 [--metrics text|json]
 //! ```
 //!
@@ -78,6 +79,16 @@
 //!   verification). Writes per-size rows (goodput, convergence ticks,
 //!   catch-up split) to `--out` and the full per-size convergence
 //!   reports to `--report`; exits non-zero unless every size converges.
+//!   With `--byzantine` it instead runs the adversarial-peer gauntlet:
+//!   at each strength `f = 0..=--max-f`, the standard adversary mix
+//!   (equivocator, spammer, withholder, ring-poisoner) joins `--honest`
+//!   honest replicas on a lossless transport; the run must converge at
+//!   the adversary-free height with every Byzantine peer banned, no
+//!   poisoned ring adopted, and selection verdicts byte-identical to the
+//!   same-seed adversary-free run. Writes per-strength rows (goodput vs.
+//!   baseline, offense tallies, bans) to `--out` and the concatenated
+//!   Byzantine reports (each ending in a grep-able `verdict:` line) to
+//!   `--report`; exits non-zero unless every strength is defended.
 //! * `--faults N` — replay the scripted adversarial simulation (drop +
 //!   duplicate + reorder + delay + corrupt + partition/heal +
 //!   crash/restore through each replica's durable store) from seed N and
@@ -434,6 +445,21 @@ fn main() {
             }
             return;
         }
+        "cluster-sim" if args.iter().any(|a| a == "--byzantine") => {
+            let out = get("--out").unwrap_or_else(|| "BENCH_byzantine.json".into());
+            let report_out = get("--report").unwrap_or_else(|| "BYZ_report.txt".into());
+            let honest: usize = get("--honest").and_then(|v| v.parse().ok()).unwrap_or(4);
+            let max_f: usize = get("--max-f").and_then(|v| v.parse().ok()).unwrap_or(3);
+            if honest <= max_f {
+                die("--honest must exceed --max-f (the defense assumes an honest majority)");
+            }
+            let ok = run_byzantine_sim(seed, honest, max_f, &out, &report_out);
+            print_metrics(metrics_format);
+            if !ok {
+                std::process::exit(1);
+            }
+            return;
+        }
         "cluster-sim" => {
             let out = get("--out").unwrap_or_else(|| "BENCH_cluster.json".into());
             let report_out = get("--report").unwrap_or_else(|| "CLUSTER_report.txt".into());
@@ -714,6 +740,106 @@ fn run_cluster_sim(
     all_ok
 }
 
+/// Run the Byzantine gauntlet at every adversary strength `f = 0..=max_f`
+/// against a fixed honest majority, write `BENCH_byzantine.json` plus the
+/// per-strength report file, and return whether every strength reached
+/// the fully defended state (converged, all adversaries banned, selection
+/// verdicts byte-identical to the adversary-free run).
+fn run_byzantine_sim(seed: u64, honest: usize, max_f: usize, out: &str, report_out: &str) -> bool {
+    let mut rows = Vec::new();
+    let mut report_text = String::new();
+    let mut all_ok = true;
+    for f in 0..=max_f {
+        let actors = dams_node::ActorKind::mix(f);
+        let report = match dams_node::run_byzantine_scenario(seed, honest, &actors) {
+            Ok(r) => r,
+            Err(e) => die(&format!("byzantine scenario (f={f}) failed: {e}")),
+        };
+        let offense_total: u64 = report.offenses.iter().map(|(_, n)| n).sum();
+        println!(
+            "f={f} vs {honest} honest: {} | goodput {:.3} (baseline {:.3}) | height {} | \
+             {} offense records | banned {}",
+            if report.ok() { "CONVERGED" } else { "COMPROMISED" },
+            report.goodput,
+            report.baseline_goodput,
+            report.height,
+            offense_total,
+            if report.all_banned { "all" } else { "INCOMPLETE" },
+        );
+        report_text.push_str(&format!(
+            "=== f={f} byzantine vs {honest} honest (seed {seed}) ===\n"
+        ));
+        report_text.push_str(&report.render());
+        report_text.push('\n');
+        all_ok &= report.ok();
+        rows.push((f, report));
+    }
+
+    // The goodput gate: the defense must not tax the honest majority. At
+    // f=1 the honest replicas' block adoptions per tick stay within 10%
+    // of the adversary-free run.
+    let f0_goodput = rows[0].1.goodput;
+    let f1_ratio = rows
+        .get(1)
+        .map(|(_, r)| if f0_goodput > 0.0 { r.goodput / f0_goodput } else { 0.0 });
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"byzantine\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"honest\": {honest},\n"));
+    json.push_str("  \"goodput_gate\": {\n");
+    json.push_str("    \"max_deviation\": 0.10,\n");
+    json.push_str(&format!(
+        "    \"f1_over_f0\": {}\n",
+        f1_ratio.map_or_else(|| "null".into(), |r| format!("{r:.4}")),
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"rows\": [\n");
+    for (i, (f, report)) in rows.iter().enumerate() {
+        let kinds: Vec<String> =
+            report.actors.iter().map(|a| format!("\"{}\"", a.label())).collect();
+        let offenses: Vec<String> = report
+            .offenses
+            .iter()
+            .map(|(label, n)| format!("\"{label}\": {n}"))
+            .collect();
+        json.push_str(&format!(
+            "    {{\"f\": {f}, \"actors\": [{}], \"goodput\": {:.4}, \
+             \"baseline_goodput\": {:.4}, \"convergence_ticks\": {}, \
+             \"height\": {}, \"all_banned\": {}, \"no_poison\": {}, \
+             \"snapshot_match\": {}, \"honest_accusations\": {}, \
+             \"offenses\": {{{}}}, \"converged\": {}}}{}\n",
+            kinds.join(", "),
+            report.goodput,
+            report.baseline_goodput,
+            report
+                .ticks
+                .map_or_else(|| "null".into(), |t| t.to_string()),
+            report.height,
+            report.all_banned,
+            report.no_poison,
+            report.snapshot_match,
+            report.honest_accusations,
+            offenses.join(", "),
+            report.ok(),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(out, &json) {
+        die(&format!("cannot write {out}: {e}"));
+    }
+    if let Err(e) = std::fs::write(report_out, &report_text) {
+        die(&format!("cannot write {report_out}: {e}"));
+    }
+    println!(
+        "wrote {out} ({} adversary strengths) and {report_out}",
+        rows.len()
+    );
+    all_ok
+}
+
 fn hex(bytes: &[u8]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
@@ -842,6 +968,7 @@ fn usage() -> ! {
          \x20      dams-cli serve --real [--seed N] [--workers N] [--requests N] [--loads \"1,2,4\"]\n\
          \x20                    [--transport duplex|tcp] [--tenants N] [--out FILE] [--diff-report FILE] [--trace-out FILE]\n\
          \x20      dams-cli cluster-sim [--seed N] [--node-counts \"1,3,5\"] [--out FILE] [--report FILE]\n\
+         \x20      dams-cli cluster-sim --byzantine [--seed N] [--honest N] [--max-f N] [--out FILE] [--report FILE]\n\
          \x20      dams-cli --faults <seed>   replay a faulted node simulation"
     );
     std::process::exit(2);

@@ -131,7 +131,10 @@ impl RingConfiguration for NoConfiguration {
     }
 }
 
-/// The ledger.
+/// The ledger. `Clone` is cheap enough for simulation use: adversarial
+/// actors fork throwaway copies to craft candidate blocks without
+/// touching the state they shadow.
+#[derive(Clone)]
 pub struct Chain {
     group: SchnorrGroup,
     blocks: Vec<Block>,

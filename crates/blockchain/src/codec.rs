@@ -121,6 +121,25 @@ fn decode_signature(group: &SchnorrGroup, r: &mut Reader) -> Result<RingSignatur
     })
 }
 
+/// Encode a ring signature on its own (gossip attestations and
+/// equivocation proofs carry signatures outside any transaction).
+pub fn signature_to_bytes(sig: &RingSignature) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_signature(sig, &mut out);
+    out
+}
+
+/// Decode a standalone ring-signature encoding, rejecting trailing bytes.
+pub fn signature_from_bytes(
+    group: &SchnorrGroup,
+    buf: &[u8],
+) -> Result<RingSignature, CodecError> {
+    let mut r = Reader::new(buf);
+    let sig = decode_signature(group, &mut r)?;
+    r.finish()?;
+    Ok(sig)
+}
+
 // --- transactions ---
 
 /// Encode a transaction.

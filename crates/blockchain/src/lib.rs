@@ -20,7 +20,10 @@ pub use batch::{Batch, BatchList};
 pub use confidential::{ConfidentialError, ConfidentialLedger, ConfidentialOutput, ConfidentialSpend};
 pub use block::{Block, BlockHeader};
 pub use chain::{Chain, ChainError, NoConfiguration, RingConfiguration, TokenRecord, VerifyError};
-pub use codec::{block_to_bytes, decode_block, transaction_to_bytes, CodecError};
+pub use codec::{
+    block_to_bytes, decode_block, signature_from_bytes, signature_to_bytes,
+    transaction_to_bytes, CodecError,
+};
 pub use fees::{select_for_block, FeeSchedule};
 pub use obs::ChainMetrics;
 pub use transaction::{CommittedTransaction, RingInput, TokenOutput, Transaction};

@@ -41,6 +41,10 @@ pub enum NodeError {
     /// only [`dams_store::Store::rollback_to`] can attest that no
     /// committed RS is removed.
     RollbackNeedsStore,
+    /// A range request asked for more blocks than the serving node's
+    /// configured cap — refused whole (and attributed to the requester as
+    /// `RangeAbuse`) instead of silently truncated.
+    RangeRefused { requested: u64, cap: u64 },
 }
 
 impl std::fmt::Display for NodeError {
@@ -65,6 +69,9 @@ impl std::fmt::Display for NodeError {
             NodeError::Index(e) => write!(f, "diversity index out of step: {e}"),
             NodeError::RollbackNeedsStore => {
                 write!(f, "rollback requires a durable store to attest RS immutability")
+            }
+            NodeError::RangeRefused { requested, cap } => {
+                write!(f, "range request for {requested} blocks exceeds cap {cap}, refused")
             }
         }
     }
@@ -130,6 +137,10 @@ mod tests {
             },
             IndexError::NothingToRollBack.into(),
             NodeError::RollbackNeedsStore,
+            NodeError::RangeRefused {
+                requested: 64,
+                cap: 16,
+            },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

@@ -106,9 +106,13 @@ pub struct FaultStats {
     pub delivered: u64,
 }
 
-/// One message copy travelling through the faulty network.
+/// One message copy travelling through the faulty network. The source
+/// endpoint is transport metadata (the simulated analogue of the TCP
+/// connection a frame arrived on): corruption can garble the payload but
+/// never re-attribute a frame to a different sender.
 #[derive(Debug, Clone)]
 struct InFlight {
+    src: usize,
     dest: usize,
     bytes: Vec<u8>,
     due: u64,
@@ -214,33 +218,40 @@ impl FaultChannel {
         self.partition[a] == self.partition[b]
     }
 
-    /// Push one frame through the fault gauntlet toward `dest`.
+    /// Push one frame through the fault gauntlet toward `dest` without a
+    /// meaningful source (the frame is attributed to `dest` itself).
+    /// Receivers that care about attribution use [`FaultChannel::send_from`].
     pub fn send(&mut self, dest: usize, bytes: Vec<u8>) {
+        self.send_from(dest, dest, bytes);
+    }
+
+    /// Push one frame from `src` toward `dest` through the fault gauntlet.
+    pub fn send_from(&mut self, src: usize, dest: usize, bytes: Vec<u8>) {
         self.stats.sent += 1;
         NodeMetrics::global().bus_sent.inc();
         if self.rng.gen_bool(self.cfg.dup_prob.clamp(0.0, 1.0)) {
             self.stats.duplicated += 1;
             NodeMetrics::global().bus_duplicated.inc();
             let copy = bytes.clone();
-            self.enqueue_copy(dest, copy);
+            self.enqueue_copy(src, dest, copy);
         }
-        self.enqueue_copy(dest, bytes);
+        self.enqueue_copy(src, dest, bytes);
     }
 
-    /// [`FaultChannel::send`] honouring the partition: a frame across the
-    /// split is suppressed and counted. Returns whether the frame entered
-    /// the channel.
+    /// [`FaultChannel::send_from`] honouring the partition: a frame across
+    /// the split is suppressed and counted. Returns whether the frame
+    /// entered the channel.
     pub fn send_reachable(&mut self, src: usize, dest: usize, bytes: Vec<u8>) -> bool {
         if !self.reachable(src, dest) {
             self.stats.partition_blocked += 1;
             NodeMetrics::global().bus_partition_blocked.inc();
             return false;
         }
-        self.send(dest, bytes);
+        self.send_from(src, dest, bytes);
         true
     }
 
-    fn enqueue_copy(&mut self, dest: usize, mut bytes: Vec<u8>) {
+    fn enqueue_copy(&mut self, src: usize, dest: usize, mut bytes: Vec<u8>) {
         let metrics = NodeMetrics::global();
         if self.rng.gen_bool(self.cfg.drop_prob.clamp(0.0, 1.0)) {
             self.stats.dropped += 1;
@@ -262,12 +273,27 @@ impl FaultChannel {
         } else {
             self.tick
         };
-        self.in_flight.push(InFlight { dest, bytes, due });
+        self.in_flight.push(InFlight {
+            src,
+            dest,
+            bytes,
+            due,
+        });
     }
 
     /// Advance one tick and collect every frame due for delivery,
     /// shuffled when reordering is on.
     pub fn advance(&mut self) -> Vec<(usize, Vec<u8>)> {
+        self.advance_attributed()
+            .into_iter()
+            .map(|(_, dest, bytes)| (dest, bytes))
+            .collect()
+    }
+
+    /// [`FaultChannel::advance`] keeping the transport-level source of
+    /// each frame: `(src, dest, bytes)` triples. The source is what the
+    /// peer-defense layer attributes misbehavior to.
+    pub fn advance_attributed(&mut self) -> Vec<(usize, usize, Vec<u8>)> {
         self.tick += 1;
         let mut due: Vec<InFlight> = Vec::new();
         let mut waiting: Vec<InFlight> = Vec::new();
@@ -282,7 +308,7 @@ impl FaultChannel {
         if self.cfg.reorder {
             due.shuffle(&mut self.rng);
         }
-        due.into_iter().map(|m| (m.dest, m.bytes)).collect()
+        due.into_iter().map(|m| (m.src, m.dest, m.bytes)).collect()
     }
 
     /// Drop every in-flight frame addressed to `dest` — it crashed, and

@@ -11,10 +11,12 @@
 //! * [`validate`] — the polynomial Definition-5 validator wallets run
 //!   before broadcasting and auditors run over blocks.
 
+pub mod adversary;
 pub mod auditor;
 pub mod error;
 pub mod faults;
 pub mod gossip;
+pub mod peers;
 pub mod indexing;
 pub mod network;
 pub mod obs;
@@ -30,7 +32,18 @@ pub use error::NodeError;
 pub use faults::{
     run_faulted_simulation, FaultChannel, FaultConfig, FaultReport, FaultStats, FaultyBus,
 };
-pub use gossip::{run_cluster_scenario, Cluster, ClusterReport, GossipStats};
+pub use adversary::{
+    run_byzantine_scenario, selection_snapshot, ActorKind, ByzantineReport, SCENARIO_HEIGHT,
+    SCENARIO_HORIZON,
+};
+pub use gossip::{
+    decode_frame, frame_attested_block, frame_evidence, frame_range, frame_refusal, frame_tip,
+    run_cluster_scenario, Cluster, ClusterReport, GossipFrame, GossipStats,
+};
+pub use peers::{
+    Attestation, ClusterConfig, EquivocationProof, Misbehavior, MisbehaviorRecord, PeerDefense,
+    Standing,
+};
 pub use indexing::{block_delta, index_of_chain};
 pub use network::{BlockAnnouncement, Bus, NodeLimits, NodeStats, SimNode};
 pub use sync::{bootstrap_from_bundle, catch_up_tail, recheck_node, serve_bundle, SyncReport};

@@ -546,6 +546,27 @@ impl SimNode {
         self.chain.blocks()[from..hi].to_vec()
     }
 
+    /// [`SimNode::serve_range`] with the requested span checked against
+    /// `cap` *before* serving: a request for more than `cap` blocks is a
+    /// typed [`NodeError::RangeRefused`], refused whole rather than
+    /// silently truncated — the gossip layer answers it with a refusal
+    /// frame and attributes the oversized ask to the requester.
+    pub fn serve_range_checked(
+        &self,
+        from: usize,
+        to: usize,
+        cap: usize,
+    ) -> Result<Vec<Block>, NodeError> {
+        let requested = to.saturating_sub(from);
+        if requested > cap {
+            return Err(NodeError::RangeRefused {
+                requested: requested as u64,
+                cap: cap as u64,
+            });
+        }
+        Ok(self.serve_range(from, to, cap))
+    }
+
     /// Read access to the attached store (checkpoint/tail serving).
     pub fn store(&self) -> Option<&Store> {
         self.store.as_ref()

@@ -92,6 +92,29 @@ pub struct NodeMetrics {
     /// `node.index.rebuilds_total` — full O(chain) index rebuilds (enable,
     /// store attach, or defensive re-anchor after a desync).
     pub index_rebuilds: Counter,
+    /// `node.gossip.dup_announce_total` — repeated block announcements
+    /// deduplicated before re-entering verification.
+    pub gossip_dup_announce: Counter,
+    /// `node.gossip.range_refusals_total` — oversized range requests
+    /// answered with a typed refusal instead of silent truncation.
+    pub gossip_range_refusals: Counter,
+    /// `node.gossip.evidence_frames_total` — equivocation proofs gossiped
+    /// so honest peers converge on the same verdict.
+    pub gossip_evidence_frames: Counter,
+    /// `node.peers.misbehavior_total` — typed misbehavior records filed
+    /// against peers (equivocation, diversity violation, flood, range
+    /// abuse, stale-tip spam).
+    pub peers_misbehavior: Counter,
+    /// `node.peers.quarantined_total` — peers escalated to quarantine.
+    pub peers_quarantined: Counter,
+    /// `node.peers.banned_total` — peers escalated to a ban.
+    pub peers_banned: Counter,
+    /// `node.peers.frames_dropped_total` — frames refused at intake from
+    /// banned, quarantined, or rate-limited peers.
+    pub peers_frames_dropped: Counter,
+    /// `node.peers.diversity_rejects_total` — announced blocks refused
+    /// because a carried RS fails (c, ℓ)-diversity re-verification.
+    pub peers_diversity_rejects: Counter,
 }
 
 impl NodeMetrics {
@@ -129,6 +152,14 @@ impl NodeMetrics {
             index_blocks_applied: registry.counter("node.index.blocks_applied_total"),
             index_rollbacks: registry.counter("node.index.rollbacks_total"),
             index_rebuilds: registry.counter("node.index.rebuilds_total"),
+            gossip_dup_announce: registry.counter("node.gossip.dup_announce_total"),
+            gossip_range_refusals: registry.counter("node.gossip.range_refusals_total"),
+            gossip_evidence_frames: registry.counter("node.gossip.evidence_frames_total"),
+            peers_misbehavior: registry.counter("node.peers.misbehavior_total"),
+            peers_quarantined: registry.counter("node.peers.quarantined_total"),
+            peers_banned: registry.counter("node.peers.banned_total"),
+            peers_frames_dropped: registry.counter("node.peers.frames_dropped_total"),
+            peers_diversity_rejects: registry.counter("node.peers.diversity_rejects_total"),
         }
     }
 

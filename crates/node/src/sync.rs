@@ -84,7 +84,10 @@ fn decode_bundle(frame: &[u8]) -> Result<(Vec<u8>, Vec<u8>), NodeError> {
     if sha256(payload).as_slice() != digest {
         return reject("bundle digest mismatch");
     }
-    let cp_len = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")) as usize;
+    let Some(len_bytes) = payload.get(..8).and_then(|b| <[u8; 8]>::try_from(b).ok()) else {
+        return reject("bundle length prefix truncated");
+    };
+    let cp_len = u64::from_le_bytes(len_bytes) as usize;
     let rest = &payload[8..];
     if cp_len > rest.len() {
         return reject("bundle checkpoint length exceeds payload");
@@ -182,7 +185,7 @@ pub fn catch_up_tail(node: &mut SimNode, peer: &mut SimNode) -> Result<u64, Node
     let mut applied = 0u64;
     for span in &outcome.records {
         let payload = &image[span.payload_start..span.payload_end];
-        if payload[0] != TAG_BLOCK {
+        if payload.first() != Some(&TAG_BLOCK) {
             return reject("tail stream carries a non-block record");
         }
         let Ok(block) = decode_block(&group, &payload[1..]) else {

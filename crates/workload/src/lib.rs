@@ -13,6 +13,7 @@
 //! * [`arrivals`] — the arrival-trace artifact (export/replay) the
 //!   sim-vs-real differential oracle feeds to both sides.
 
+pub mod adversarial;
 pub mod arrivals;
 pub mod chainload;
 pub mod openloop;
@@ -23,6 +24,7 @@ pub mod streaming;
 pub mod synthetic;
 pub mod trace;
 
+pub use adversarial::BurstSchedule;
 pub use arrivals::{parse_trace, render_trace, ArrivalEvent, TraceError};
 pub use openloop::{shard_round_robin, OpenLoop};
 pub use real::{monero_snapshot, output_histogram};

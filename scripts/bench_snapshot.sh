@@ -4,14 +4,17 @@
 # ladder, and the faulted node simulation) plus BENCH_selection.json
 # (the selection perf figure: optimized engines vs. seed references).
 #
-#   scripts/bench_snapshot.sh [OUT] [SEED] [SELECTION_OUT] [OVERLOAD_OUT] [CLUSTER_OUT] [SOAK_OUT]
+#   scripts/bench_snapshot.sh [OUT] [SEED] [SELECTION_OUT] [OVERLOAD_OUT] [CLUSTER_OUT] [SOAK_OUT] [BYZ_OUT]
 #
 # OUT defaults to BENCH_baseline.json at the repo root; SEED to 42;
 # SELECTION_OUT to BENCH_selection.json; OVERLOAD_OUT (the overload
 # service load ramp) to BENCH_overload.json; CLUSTER_OUT (goodput and
 # convergence vs cluster size) to BENCH_cluster.json, with the per-size
 # convergence reports in CLUSTER_report.txt alongside it; SOAK_OUT (the
-# streaming soak: flat p99 from 10^3 to 10^6 tokens) to BENCH_soak.json.
+# streaming soak: flat p99 from 10^3 to 10^6 tokens) to BENCH_soak.json;
+# BYZ_OUT (the Byzantine gauntlet: per-strength goodput, bans, offense
+# tallies) to BENCH_byzantine.json, with the per-strength reports in
+# BYZ_report.txt alongside it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +24,7 @@ SELECTION_OUT="${3:-BENCH_selection.json}"
 OVERLOAD_OUT="${4:-BENCH_overload.json}"
 CLUSTER_OUT="${5:-BENCH_cluster.json}"
 SOAK_OUT="${6:-BENCH_soak.json}"
+BYZ_OUT="${7:-BENCH_byzantine.json}"
 
 cargo build --release -q -p dams-bench --bin dams-cli
 ./target/release/dams-cli bench --out "$OUT" --seed "$SEED" \
@@ -33,6 +37,11 @@ cargo build --release -q -p dams-bench --bin dams-cli
     --seed "$SEED" --tokens 1000000
 ./target/release/dams-cli cluster-sim --out "$CLUSTER_OUT" \
     --report CLUSTER_report.txt --node-counts 1,3,5 --seed "$SEED"
+# The Byzantine gauntlet exits non-zero itself unless every adversary
+# strength reaches the defended state; the python gate below re-checks
+# the written rows independently.
+./target/release/dams-cli cluster-sim --byzantine --out "$BYZ_OUT" \
+    --report BYZ_report.txt --honest 4 --max-f 3 --seed "$SEED"
 
 # Well-formedness gate: the snapshot must parse as JSON and cover the
 # BFS, Progressive, Game-theoretic, and degrade-tier metric families.
@@ -214,4 +223,50 @@ if len(rows) > 1:
                  f"{hi['goodput']:.2f} at {hi['nodes']})")
 sizes = ", ".join(f"{r['nodes']}n={r['goodput']:.2f}" for r in rows)
 print(f"{path}: all sizes converged, catch-up O(tail), goodput {sizes}")
+EOF
+
+# Byzantine gate: every adversary strength must reach the fully defended
+# state (converged at the adversary-free height, every Byzantine peer
+# banned with an offense on record, no poisoned ring adopted, selection
+# verdicts byte-identical to the adversary-free run, zero honest peers
+# accused), and honest goodput at f=1 must stay within 10% of the f=0
+# baseline — the defense must not tax the honest majority.
+python3 - "$BYZ_OUT" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+rows = doc.get("rows", [])
+if not rows or rows[0].get("f") != 0:
+    sys.exit(f"{path}: missing the adversary-free f=0 baseline row")
+required = ["f", "actors", "goodput", "baseline_goodput", "convergence_ticks",
+            "height", "all_banned", "no_poison", "snapshot_match",
+            "honest_accusations", "offenses", "converged"]
+for row in rows:
+    missing = [k for k in required if k not in row]
+    if missing:
+        sys.exit(f"{path}: row f={row.get('f')} missing {missing}")
+    if not row["converged"]:
+        sys.exit(f"{path}: f={row['f']} did not reach the defended state")
+    if not (row["all_banned"] and row["no_poison"] and row["snapshot_match"]):
+        sys.exit(f"{path}: f={row['f']} defense incomplete: {row}")
+    if row["convergence_ticks"] is None:
+        sys.exit(f"{path}: f={row['f']} exhausted its tick budget")
+    if row["honest_accusations"] != 0:
+        sys.exit(f"{path}: f={row['f']} accused {row['honest_accusations']} "
+                 "honest peers on a lossless transport")
+    if row["f"] > 0 and not row["offenses"]:
+        sys.exit(f"{path}: f={row['f']} banned peers with no offense record")
+f0 = rows[0]["goodput"]
+f1 = next((r for r in rows if r["f"] == 1), None)
+if f1 is None:
+    sys.exit(f"{path}: missing the f=1 row the goodput gate needs")
+ratio = f1["goodput"] / f0 if f0 else 0.0
+if not 0.9 <= ratio <= 1.1:
+    sys.exit(f"{path}: f=1 goodput {f1['goodput']:.4f} vs f=0 {f0:.4f} "
+             f"(ratio {ratio:.3f}) outside the 10% gate")
+print(f"{path}: {len(rows)} strengths defended, "
+      f"f=1/f=0 goodput ratio {ratio:.3f} within 10%")
 EOF

@@ -86,6 +86,24 @@ if grep -q "verdict: DIVERGED" CLUSTER_report.txt; then
 fi
 echo "3-node partition/crash/join scenario converged"
 
+echo "== byzantine defense =="
+# Byzantine gate: an f=1 adversary (the standard mix's equivocator)
+# against a 4-replica honest majority on a lossless transport must reach
+# the fully defended state — honest tips byte-identical at the
+# adversary-free height, the adversary banned by every honest replica
+# with the offense on record, and the selection verdict identical to the
+# same-seed adversary-free run. The report lands at the repo root for CI
+# artifact upload (the bench snapshot below overwrites it with the full
+# f=0..3 sweep).
+cli cluster-sim --byzantine --seed 42 --honest 4 --max-f 1 \
+  --out "$tmpdir/bench_byzantine_gate.json" --report BYZ_report.txt
+grep -q "verdict: CONVERGED" BYZ_report.txt
+if grep -q "verdict: COMPROMISED" BYZ_report.txt; then
+  echo "byzantine scenario compromised" >&2
+  exit 1
+fi
+echo "f=1 adversarial-peer scenario defended (converged, adversary banned)"
+
 echo "== sim-vs-real differential =="
 # Differential gate: replay the seeded overload trace through the real
 # concurrent runtime (worker threads, wire frames, completion drains)
