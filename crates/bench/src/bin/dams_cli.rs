@@ -6,6 +6,7 @@
 //! dams-cli audit   --spends 5 [--seed N]
 //! dams-cli hardness --rings "1,2;1,2;2,3,4"
 //! dams-cli bench   [--out BENCH_baseline.json] [--selection-out BENCH_selection.json] [--seed N] [--tokens N]
+//! dams-cli bench --anonymity [--seed N] [--out BENCH_anonymity.json] [--report ANON_report.txt]
 //! dams-cli run     --store-dir DIR [--blocks N] [--seed N] [--crash-after-appends N]
 //! dams-cli recover --store-dir DIR
 //! dams-cli serve-sim [--seed N] [--workers N] [--requests N] [--loads "1,2,4"] [--out BENCH_overload.json]
@@ -34,7 +35,19 @@
 //!   the incremental diversity index, with per-block maintenance cost
 //!   and served-request percentiles per size. `--tokens` accepts only
 //!   the published decade sizes and errors on anything else — a silently
-//!   clamped size would mislabel the measurement.
+//!   clamped size would mislabel the measurement. With `--anonymity` it
+//!   instead replays the seeded adversary suite (cascade taint,
+//!   guess-newest, closed-set graph matching) over realistic chains at
+//!   each degrade-ladder tier's measured ring size, under both baseline
+//!   and attack-aware sampling, at adversary strengths `f = 0..=3`;
+//!   then runs the 64-seed floor-gated admission sweep (frontend +
+//!   overloaded service). Writes the per-cell rows and tier score
+//!   calibration to `--out` and the grep-able per-cell report (ends in
+//!   a `verdict:` line) to `--report`; exits non-zero unless every
+//!   declared `Tier::anonymity_score` is backed by measurement,
+//!   attack-aware sampling never loses to baseline at equal
+//!   (tier, strength), and no floored request was answered below its
+//!   floor (violations shed as the typed `ShedReason::AnonymityFloor`).
 //! * `run` — mine coinbase blocks up to height `--blocks` into a durable
 //!   on-disk store
 //!   (`wal.bin` + `checkpoint.bin` under `--store-dir`): each block is
@@ -477,6 +490,16 @@ fn main() {
             }
             let requests: u64 = get("--requests").and_then(|v| v.parse().ok()).unwrap_or(96);
             let ok = run_cluster_sim(seed, &node_counts, requests, &out, &report_out);
+            print_metrics(metrics_format);
+            if !ok {
+                std::process::exit(1);
+            }
+            return;
+        }
+        "bench" if args.iter().any(|a| a == "--anonymity") => {
+            let out = get("--out").unwrap_or_else(|| "BENCH_anonymity.json".into());
+            let report_out = get("--report").unwrap_or_else(|| "ANON_report.txt".into());
+            let ok = run_anonymity_bench(seed, &out, &report_out);
             print_metrics(metrics_format);
             if !ok {
                 std::process::exit(1);
@@ -956,6 +979,25 @@ fn parse_rings(s: &str) -> Vec<RingSet> {
         .collect()
 }
 
+/// Replay the seeded adversary suite over every degrade-ladder tier plus
+/// the 64-seed floor-gated admission sweep, write `BENCH_anonymity.json`
+/// and the per-cell report, and return whether the figure passes its own
+/// gate (declared tier scores backed by measurement, attack-aware
+/// sampling never worse than baseline, no answered request below its
+/// declared floor).
+fn run_anonymity_bench(seed: u64, out: &str, report_out: &str) -> bool {
+    let fig = dams_bench::anonymity_figure(seed);
+    print!("{}", fig.render_report());
+    if let Err(e) = std::fs::write(out, fig.render_json()) {
+        die(&format!("cannot write {out}: {e}"));
+    }
+    if let Err(e) = std::fs::write(report_out, fig.render_report()) {
+        die(&format!("cannot write {report_out}: {e}"));
+    }
+    println!("wrote {out} and {report_out}");
+    fig.ok()
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: dams-cli <select|attack|audit|hardness|bench> [--algorithm tm_s|tm_r|tm_p|tm_g] \
@@ -969,6 +1011,7 @@ fn usage() -> ! {
          \x20                    [--transport duplex|tcp] [--tenants N] [--out FILE] [--diff-report FILE] [--trace-out FILE]\n\
          \x20      dams-cli cluster-sim [--seed N] [--node-counts \"1,3,5\"] [--out FILE] [--report FILE]\n\
          \x20      dams-cli cluster-sim --byzantine [--seed N] [--honest N] [--max-f N] [--out FILE] [--report FILE]\n\
+         \x20      dams-cli bench --anonymity [--seed N] [--out FILE] [--report FILE]\n\
          \x20      dams-cli --faults <seed>   replay a faulted node simulation"
     );
     std::process::exit(2);

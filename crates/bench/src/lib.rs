@@ -4,9 +4,11 @@
 //! evaluation (§7). See `src/bin/paper_experiments.rs` for the CLI and
 //! `benches/` for the Criterion targets.
 
+pub mod anonymity;
 pub mod harness;
 pub mod microbench;
 pub mod selection_figure;
 pub mod series;
 
+pub use anonymity::{anonymity_figure, AnonymityFigure, FloorSweep, TierCalibration, TierRow};
 pub use selection_figure::{selection_figure, FigureRow, SelectionFigure};

@@ -54,6 +54,27 @@ impl Tier {
             Tier::GameTheoretic => Algorithm::GameTheoretic,
         }
     }
+
+    /// Measured effective-anonymity score of the rings this tier produces:
+    /// the mean surviving candidate count under the strength-1 reference
+    /// adversary of `dams_diversity::attacks` (cascade taint + graph
+    /// matching + guess-newest over an attack-aware-sampled trace),
+    /// rounded *down* so every score is a conservative floor.
+    ///
+    /// The numbers come from `dams-cli bench --anonymity`
+    /// (`BENCH_anonymity.json`, gated in CI to stay consistent with
+    /// these constants): the exact search minimises ring size — fee- and
+    /// verification-optimal, but the *smallest* anonymity set — while the
+    /// approximations over-provision mixins and land higher. Requests
+    /// declare a floor against this scale; the admission path sheds
+    /// (`ShedReason::AnonymityFloor`) rather than answering below it.
+    pub fn anonymity_score(self) -> u32 {
+        match self {
+            Tier::ExactBfs => 2,
+            Tier::Progressive => 4,
+            Tier::GameTheoretic => 3,
+        }
+    }
 }
 
 impl std::fmt::Display for Tier {

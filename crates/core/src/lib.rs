@@ -46,6 +46,7 @@
 //! assert!(selection.ring.contains(TokenId(2)));
 //! ```
 
+pub mod attack_aware;
 pub mod baselines;
 pub mod bfs;
 pub mod cache;
@@ -63,6 +64,7 @@ pub mod ratio;
 pub mod selection;
 pub mod tokenmagic;
 
+pub use attack_aware::{sample_ring, MixinPool, SamplingMode};
 pub use baselines::{random, smallest};
 pub use bfs::{bfs, bfs_batch, bfs_reference, bfs_with, BfsBudget, BfsOptions};
 pub use cache::{CachedOutcome, EvalCache, ProfileCache, DEFAULT_CACHE_CAPACITY};

@@ -182,8 +182,9 @@ pub fn analyze(index: &RingIndex, side_info: &[TokenRsPair]) -> Analysis {
             }
         }
         if cands.len() == 1 {
-            let t = *cands.iter().next().expect("len checked");
-            out.proven.insert(TokenRsPair::new(t, rs));
+            if let Some(&t) = cands.iter().next() {
+                out.proven.insert(TokenRsPair::new(t, rs));
+            }
         }
         out.candidates.insert(rs, cands);
     }
@@ -269,8 +270,7 @@ fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<usize> {
                     low[parent] = low[parent].min(low[v]);
                 }
                 if low[v] == index[v] {
-                    loop {
-                        let w = stack.pop().expect("stack holds the component");
+                    while let Some(w) = stack.pop() {
                         on_stack[w] = false;
                         comp[w] = next_comp;
                         if w == v {
@@ -311,9 +311,10 @@ pub fn analyze_exact(index: &RingIndex, side_info: &[TokenRsPair]) -> Analysis {
             out.contradictions.push(id);
         }
         if cands.len() == 1 {
-            let t = *cands.iter().next().expect("len checked");
-            out.proven.insert(TokenRsPair::new(t, id));
-            out.consumed_somewhere.insert(t);
+            if let Some(&t) = cands.iter().next() {
+                out.proven.insert(TokenRsPair::new(t, id));
+                out.consumed_somewhere.insert(t);
+            }
         }
         out.candidates.insert(id, cands);
     }

@@ -53,10 +53,13 @@ pub fn emd_over_ids(ring: &RingSet, universe: &TokenUniverse) -> f64 {
         let set: std::collections::BTreeSet<HtId> = p.keys().chain(q.keys()).copied().collect();
         set.into_iter().collect()
     };
+    let (Some(first), Some(last)) = (keys.first(), keys.last()) else {
+        return 0.0;
+    };
     if keys.len() <= 1 {
         return 0.0;
     }
-    let span = (keys.last().expect("non-empty").0 - keys.first().expect("non-empty").0) as f64;
+    let span = (last.0 - first.0) as f64;
     if span == 0.0 {
         return 0.0;
     }

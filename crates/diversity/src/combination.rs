@@ -136,6 +136,9 @@ pub fn enumerate_with_limit(
     rings: &[RsId],
     limit: usize,
 ) -> Vec<Combination> {
+    // No deadline is configured, so the enumeration cannot expire; an
+    // (impossible) `WorldsExpired` degrades to the empty world set rather
+    // than panicking a library path.
     enumerate_worlds(
         index,
         rings,
@@ -145,7 +148,7 @@ pub fn enumerate_with_limit(
             deadline: None,
         },
     )
-    .expect("no deadline configured, enumeration cannot expire")
+    .unwrap_or_default()
 }
 
 /// The general possible-world enumerator: [`enumerate_with_limit`] plus an

@@ -54,12 +54,14 @@ fn determined_ht(
     let mut ht: Option<HtId> = None;
     let mut any = false;
     'combo: for c in combos {
-        // Does this combination contain all the revealed pairs?
+        // Does this combination contain all the revealed pairs? A pair
+        // referencing a ring outside the analysis set cannot constrain
+        // these combinations and is skipped as noise (the same treatment
+        // `analyze` gives invalid pins).
         for p in pairs {
-            let slot = rings
-                .iter()
-                .position(|&r| r == p.rs)
-                .expect("pair references a ring outside the analysis set");
+            let Some(slot) = rings.iter().position(|&r| r == p.rs) else {
+                continue;
+            };
             if c[slot] != p.token {
                 continue 'combo;
             }

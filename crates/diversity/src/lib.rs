@@ -12,8 +12,13 @@
 //! * [`homogeneity`] — the homogeneity attack;
 //! * [`side_info`] — adversary side information and its closure (Def. 3,
 //!   Theorem 6.2);
-//! * [`neighbor`] — Theorem 4.1 neighbour-set tracking and the η guard.
+//! * [`neighbor`] — Theorem 4.1 neighbour-set tracking and the η guard;
+//! * [`attacks`] — seeded, replayable adversaries (cascade taint,
+//!   guess-newest, graph matching) reporting effective anonymity-set size
+//!   over full chain traces;
+//! * [`obs`] — the `diversity.attack.*` metric handles.
 
+pub mod attacks;
 pub mod chain_reaction;
 pub mod closeness;
 pub mod combination;
@@ -24,11 +29,16 @@ pub mod homogeneity;
 pub mod matching;
 pub mod metrics;
 pub mod neighbor;
+pub mod obs;
 pub mod recursive;
 pub mod related;
 pub mod side_info;
 pub mod types;
 
+pub use attacks::{
+    cascade_taint, graph_matching, guess_newest, run_attack, run_attack_observed, AttackConfig,
+    AttackReport, CascadeOutcome, ChainTrace, MatchingOutcome, NewestOutcome, TimelinePoint,
+};
 pub use chain_reaction::{analyze, analyze_exact, Analysis};
 pub use closeness::{emd_over_ids, is_t_close, total_variation};
 pub use combination::{
@@ -40,6 +50,7 @@ pub use dtrs::{enumerate_dtrs, Dtrs};
 pub use histogram::{DeltaHistogram, HtHistogram};
 pub use metrics::{batch_anonymity, ring_anonymity, BatchAnonymity, RingAnonymity};
 pub use neighbor::{EtaGuard, NeighborTracker};
+pub use obs::AttackMetrics;
 pub use recursive::DiversityRequirement;
 pub use related::RingIndex;
 pub use side_info::SideInformation;

@@ -107,7 +107,9 @@ impl BipartiteGraph {
             };
             total += sign * prod;
         }
-        u64::try_from(total).expect("permanent of a 0/1 matrix is non-negative")
+        // The permanent of a 0/1 matrix is non-negative; saturate on the
+        // (unreachable for n <= 63) overflow instead of panicking.
+        u64::try_from(total.max(0)).unwrap_or(u64::MAX)
     }
 }
 

@@ -1,0 +1,82 @@
+//! Observability handles for the attack harness.
+//!
+//! [`AttackMetrics`] bundles every `diversity.attack.*` metric the replay
+//! harness records, following the workspace naming scheme (see `dams-obs`):
+//!
+//! * `diversity.attack.rings_total` — rings an adversary was run against;
+//! * `diversity.attack.deanonymized_total` — rings whose true spend the
+//!   adversary identified (certainty or best-guess heuristic);
+//! * `diversity.attack.cascade_depth` — taint-cascade depth distribution
+//!   (elimination rounds until the last ring collapsed);
+//! * `diversity.attack.time_ns` — per-attack wall time (suppressed in
+//!   deterministic snapshots like every other `Unit::Nanos` histogram).
+//!
+//! Entry points default to the process-wide registry
+//! ([`AttackMetrics::global`]); tests that assert exact values build a
+//! fresh [`Registry`] and use [`AttackMetrics::in_registry`].
+
+use std::sync::OnceLock;
+
+use dams_obs::{Counter, Histogram, Registry, Unit};
+
+/// Handles onto every `diversity.attack.*` metric (see the module docs).
+#[derive(Debug, Clone)]
+pub struct AttackMetrics {
+    /// Rings an adversary was run against.
+    pub rings_attacked: Counter,
+    /// Rings whose true spend the adversary identified.
+    pub rings_deanonymized: Counter,
+    /// Taint-cascade depth per attack run (elimination rounds).
+    pub cascade_depth: Histogram,
+    /// Wall time per attack run (nanoseconds).
+    pub attack_time: Histogram,
+}
+
+impl AttackMetrics {
+    /// Register (or re-acquire) every attack metric in `registry`.
+    pub fn in_registry(registry: &Registry) -> Self {
+        AttackMetrics {
+            rings_attacked: registry.counter("diversity.attack.rings_total"),
+            rings_deanonymized: registry.counter("diversity.attack.deanonymized_total"),
+            cascade_depth: registry.histogram("diversity.attack.cascade_depth", Unit::Count),
+            attack_time: registry.histogram("diversity.attack.time_ns", Unit::Nanos),
+        }
+    }
+
+    /// The handles bound to the process-wide registry — what the default
+    /// entry points record into.
+    pub fn global() -> &'static AttackMetrics {
+        static GLOBAL: OnceLock<AttackMetrics> = OnceLock::new();
+        GLOBAL.get_or_init(|| AttackMetrics::in_registry(dams_obs::global()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_registry_registers_expected_names() {
+        let registry = Registry::new();
+        let m = AttackMetrics::in_registry(&registry);
+        m.rings_attacked.add(4);
+        m.rings_deanonymized.inc();
+        m.cascade_depth.record(3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("diversity.attack.rings_total"), Some(4));
+        assert_eq!(snap.counter("diversity.attack.deanonymized_total"), Some(1));
+    }
+
+    #[test]
+    fn reacquiring_shares_the_atomics() {
+        let registry = Registry::new();
+        let a = AttackMetrics::in_registry(&registry);
+        let b = AttackMetrics::in_registry(&registry);
+        a.rings_attacked.add(2);
+        b.rings_attacked.add(5);
+        assert_eq!(
+            registry.snapshot().counter("diversity.attack.rings_total"),
+            Some(7)
+        );
+    }
+}

@@ -28,6 +28,20 @@ pub fn ladder_for(exact_ok: bool) -> &'static [Tier] {
     }
 }
 
+/// The ladder a request with an anonymity floor runs: [`ladder_for`]
+/// filtered to tiers whose measured [`Tier::anonymity_score`] meets the
+/// floor. An empty result means no tier can serve the request without
+/// degrading privacy below its declared floor — the caller must shed it
+/// as `ShedReason::AnonymityFloor` rather than answer. Under overload
+/// the system degrades latency, never privacy.
+pub fn floored_ladder(exact_ok: bool, floor: u32) -> Vec<Tier> {
+    ladder_for(exact_ok)
+        .iter()
+        .copied()
+        .filter(|t| t.anonymity_score() >= floor)
+        .collect()
+}
+
 /// The exact-tier candidate grant for a request with `remaining` ticks of
 /// budget. The caller must already have checked `remaining ≥ reserve`.
 pub fn exact_grant(remaining: u64, reserve_ticks: u64, ticks_per_candidate: u64, exact_ok: bool) -> u64 {
@@ -124,6 +138,20 @@ mod tests {
     fn ladder_drops_exact_tier_when_denied() {
         assert_eq!(ladder_for(true), &Tier::DEFAULT_LADDER);
         assert_eq!(ladder_for(false), &[Tier::Progressive, Tier::GameTheoretic]);
+    }
+
+    #[test]
+    fn floored_ladder_filters_by_anonymity_score() {
+        assert_eq!(floored_ladder(true, 0), Tier::DEFAULT_LADDER.to_vec());
+        // A floor above the exact tier's score drops it but keeps the
+        // (higher-anonymity) approximate tiers.
+        let floor = Tier::ExactBfs.anonymity_score() + 1;
+        let ladder = floored_ladder(true, floor);
+        assert!(!ladder.contains(&Tier::ExactBfs));
+        assert!(ladder.iter().all(|t| t.anonymity_score() >= floor));
+        // An unsatisfiable floor empties the ladder entirely.
+        assert!(floored_ladder(true, u32::MAX).is_empty());
+        assert!(floored_ladder(false, u32::MAX).is_empty());
     }
 
     #[test]

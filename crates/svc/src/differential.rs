@@ -307,6 +307,12 @@ pub fn diff_reports(cfg: &DiffConfig, sim: &SvcReport, real: &RuntimeReport) -> 
             tol,
         },
         DiffRow {
+            metric: "shed.anonymity_floor",
+            sim: sim.shed_anonymity_floor,
+            real: real.svc.shed_anonymity_floor,
+            tol,
+        },
+        DiffRow {
             metric: "deadline.met",
             sim: sim.deadline_met,
             real: real.svc.deadline_met,
@@ -320,7 +326,7 @@ pub fn diff_reports(cfg: &DiffConfig, sim: &SvcReport, real: &RuntimeReport) -> 
         },
     ];
 
-    let shed_total = |r: &SvcReport| r.shed_queue_full + r.shed_deadline_infeasible + r.shed_circuit_open;
+    let shed_total = |r: &SvcReport| r.shed_total();
     let sim_accounted = sim.completed + sim.failed + shed_total(sim);
     let real_accounted = real.svc.completed + real.svc.failed + shed_total(&real.svc);
     let invariants = vec![

@@ -123,6 +123,29 @@ impl<'a> Frontend<'a> {
         self.select_on(instance, None, target, budget_ticks, require_exact)
     }
 
+    /// Like [`Frontend::select`], but honouring a declared anonymity
+    /// floor: only ladder tiers whose measured
+    /// [`Tier::anonymity_score`] meets `anonymity_floor` may answer, and
+    /// a floor no tier meets is refused as
+    /// [`ShedReason::AnonymityFloor`] before any search runs.
+    pub fn select_floored(
+        &mut self,
+        target: TokenId,
+        budget_ticks: u64,
+        require_exact: bool,
+        anonymity_floor: u32,
+    ) -> Result<DegradedSelection, ShedReason> {
+        let instance = self.instance;
+        self.select_on_floored(
+            instance,
+            None,
+            target,
+            budget_ticks,
+            require_exact,
+            anonymity_floor,
+        )
+    }
+
     /// Like [`Frontend::select`], but against an explicit `instance` —
     /// the multi-batch serving path: one frontend (one breaker, one tick
     /// economy) serves selections over whichever batch each request
@@ -137,16 +160,50 @@ impl<'a> Frontend<'a> {
         budget_ticks: u64,
         require_exact: bool,
     ) -> Result<DegradedSelection, ShedReason> {
+        self.select_on_floored(instance, modular, target, budget_ticks, require_exact, 0)
+    }
+
+    /// The floor-aware core path behind every `select*` variant (see
+    /// [`Frontend::select_floored`] for the floor semantics).
+    pub fn select_on_floored(
+        &mut self,
+        instance: &Instance,
+        modular: Option<&ModularInstance>,
+        target: TokenId,
+        budget_ticks: u64,
+        require_exact: bool,
+        anonymity_floor: u32,
+    ) -> Result<DegradedSelection, ShedReason> {
         self.metrics.offered.inc();
         if budget_ticks < self.cfg.reserve_ticks {
             self.metrics.shed_deadline_infeasible.inc();
             return Err(ShedReason::DeadlineInfeasible);
+        }
+        // Floor feasibility is static: if even the full ladder has no
+        // qualifying tier (or the required exact tier is floored out),
+        // breaker recovery can never make the request answerable.
+        if anonymity_floor > 0 {
+            let full = admission::floored_ladder(true, anonymity_floor);
+            let exact_floored =
+                require_exact && Tier::ExactBfs.anonymity_score() < anonymity_floor;
+            if full.is_empty() || exact_floored {
+                self.metrics.shed_anonymity_floor.inc();
+                return Err(ShedReason::AnonymityFloor);
+            }
         }
         let (exact_ok, tr) = self.breaker.exact_allowed(self.clock.now());
         self.surface(tr);
         if require_exact && !exact_ok {
             self.metrics.shed_circuit_open.inc();
             return Err(ShedReason::CircuitOpen);
+        }
+        // A floored-out exact tier gets no grant and gives no breaker
+        // feedback, exactly as if the breaker had denied it.
+        let exact_ok = exact_ok && Tier::ExactBfs.anonymity_score() >= anonymity_floor;
+        let ladder = admission::floored_ladder(exact_ok, anonymity_floor);
+        if ladder.is_empty() {
+            self.metrics.shed_anonymity_floor.inc();
+            return Err(ShedReason::AnonymityFloor);
         }
         self.metrics.admitted.inc();
 
@@ -161,7 +218,7 @@ impl<'a> Frontend<'a> {
             target,
             self.policy,
             admission::grant_budget(grant),
-            admission::ladder_for(exact_ok),
+            &ladder,
             &self.core,
             &LadderExec {
                 workers: self.cfg.bfs_workers,
@@ -267,6 +324,35 @@ mod tests {
                 .snapshot()
                 .counter("svc.shed.deadline_infeasible_total"),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn anonymity_floor_restricts_the_answering_tier_or_sheds_typed() {
+        let inst = instance(8);
+        let registry = Registry::new();
+        let mut f = Frontend::new(&inst, policy(), FrontendConfig::default(), &registry);
+        // A floor above the exact tier's score forces a degraded answer
+        // from a tier that meets it.
+        let floor = Tier::ExactBfs.anonymity_score() + 1;
+        let sel = f
+            .select_floored(TokenId(0), 1 << 20, false, floor)
+            .expect("a qualifying tier answers");
+        assert!(sel.tier.anonymity_score() >= floor);
+        // An unsatisfiable floor is refused before any search runs.
+        assert_eq!(
+            f.select_floored(TokenId(0), 1 << 20, false, u32::MAX),
+            Err(ShedReason::AnonymityFloor)
+        );
+        // require_exact plus a floor that rules the exact tier out is a
+        // contradiction, shed as the floor violation it is.
+        assert_eq!(
+            f.select_floored(TokenId(0), 1 << 20, true, floor),
+            Err(ShedReason::AnonymityFloor)
+        );
+        assert_eq!(
+            registry.snapshot().counter("svc.shed.anonymity_floor_total"),
+            Some(2)
         );
     }
 

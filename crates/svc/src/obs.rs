@@ -7,9 +7,9 @@
 //!   `svc.failed_total` — request lifecycle (unique requests offered,
 //!   admission grants, completions, terminal selection failures);
 //! * `svc.shed.queue_full_total` / `svc.shed.deadline_infeasible_total` /
-//!   `svc.shed.circuit_open_total` — shed **events** by typed reason
-//!   (a retried shed counts each time it happens; terminal accounting
-//!   lives in the harness report);
+//!   `svc.shed.circuit_open_total` / `svc.shed.anonymity_floor_total` —
+//!   shed **events** by typed reason (a retried shed counts each time it
+//!   happens; terminal accounting lives in the harness report);
 //! * `svc.retry.scheduled_total`, `svc.hedge.spawned_total`,
 //!   `svc.hedge.wasted_total` — backoff re-submissions and hedged
 //!   duplicates (wasted = the twin finished first);
@@ -37,6 +37,7 @@ pub struct SvcMetrics {
     pub shed_queue_full: Counter,
     pub shed_deadline_infeasible: Counter,
     pub shed_circuit_open: Counter,
+    pub shed_anonymity_floor: Counter,
     pub retries: Counter,
     pub hedges_spawned: Counter,
     pub hedges_wasted: Counter,
@@ -66,6 +67,7 @@ impl SvcMetrics {
             shed_queue_full: registry.counter("svc.shed.queue_full_total"),
             shed_deadline_infeasible: registry.counter("svc.shed.deadline_infeasible_total"),
             shed_circuit_open: registry.counter("svc.shed.circuit_open_total"),
+            shed_anonymity_floor: registry.counter("svc.shed.anonymity_floor_total"),
             retries: registry.counter("svc.retry.scheduled_total"),
             hedges_spawned: registry.counter("svc.hedge.spawned_total"),
             hedges_wasted: registry.counter("svc.hedge.wasted_total"),

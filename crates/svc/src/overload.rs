@@ -189,6 +189,9 @@ pub fn build_arrivals(
                     },
                     budget,
                     require_exact: i % 16 == 7,
+                    // Wire traces carry no floor; floored workloads are
+                    // built by the anonymity bench on top of these.
+                    anonymity_floor: 0,
                 },
             )
         })
@@ -233,6 +236,7 @@ pub fn render_bench_json(base: &OverloadConfig, rows: &[(f64, SvcReport)]) -> St
             "    {{\"offered_load\": {load:.2}, \"offered\": {}, \"admitted\": {}, \
              \"completed\": {}, \"goodput\": {:.4}, \"shed_queue_full\": {}, \
              \"shed_deadline_infeasible\": {}, \"shed_circuit_open\": {}, \
+             \"shed_anonymity_floor\": {}, \
              \"deadline_met_rate\": {:.4}, \"p50_latency_ticks\": {}, \
              \"p99_latency_ticks\": {}, \"final_tick\": {}}}{}\n",
             r.offered,
@@ -242,6 +246,7 @@ pub fn render_bench_json(base: &OverloadConfig, rows: &[(f64, SvcReport)]) -> St
             r.shed_queue_full,
             r.shed_deadline_infeasible,
             r.shed_circuit_open,
+            r.shed_anonymity_floor,
             r.deadline_met_rate(),
             r.p50_latency_ticks,
             r.p99_latency_ticks,
@@ -298,6 +303,7 @@ mod tests {
             "\"shed_queue_full\"",
             "\"shed_deadline_infeasible\"",
             "\"shed_circuit_open\"",
+            "\"shed_anonymity_floor\"",
             "\"deadline_met_rate\"",
             "\"p99_latency_ticks\"",
         ] {

@@ -189,6 +189,7 @@ impl TerminalLedger {
                 TerminalFate::Shed(ShedReason::QueueFull) => c.shed_queue_full += 1,
                 TerminalFate::Shed(ShedReason::DeadlineInfeasible) => c.shed_deadline += 1,
                 TerminalFate::Shed(ShedReason::CircuitOpen) => c.shed_circuit += 1,
+                TerminalFate::Shed(ShedReason::AnonymityFloor) => c.shed_floor += 1,
             }
         }
         c
@@ -204,6 +205,7 @@ struct LedgerCounts {
     shed_queue_full: u64,
     shed_deadline: u64,
     shed_circuit: u64,
+    shed_floor: u64,
 }
 
 /// What the client observed on its side of the wire — the independent
@@ -391,12 +393,16 @@ fn worker_loop(
     };
     while let Ok(job) = jobs.recv() {
         let started = Instant::now();
+        // The dispatcher guarantees this ladder is non-empty (an emptied
+        // one sheds before a job is ever built); floor 0 reduces to the
+        // plain breaker ladder.
+        let ladder = admission::floored_ladder(job.exact_ok, job.req.anonymity_floor);
         let outcome = select_with_ladder_exec(
             instance,
             job.req.target,
             policy,
             admission::grant_budget(job.grant),
-            admission::ladder_for(job.exact_ok),
+            &ladder,
             &core,
             &exec,
         );
@@ -548,6 +554,17 @@ impl<'w> Engine<'w> {
         if req.budget < self.cfg.reserve_ticks {
             return self.shed(now, req, attempt, hedge, ShedReason::DeadlineInfeasible, timers);
         }
+        // Same floor feasibility check the virtual-tick service makes (a
+        // wire request always carries floor 0 today, but the differential
+        // oracle depends on the two paths staying line-for-line aligned).
+        if req.anonymity_floor > 0 {
+            let full = admission::floored_ladder(true, req.anonymity_floor);
+            let exact_floored =
+                req.require_exact && Tier::ExactBfs.anonymity_score() < req.anonymity_floor;
+            if full.is_empty() || exact_floored {
+                return self.shed(now, req, attempt, hedge, ShedReason::AnonymityFloor, timers);
+            }
+        }
         if req.require_exact {
             let (allowed, tr) = self.breaker.exact_allowed(now);
             self.surface(tr);
@@ -588,12 +605,14 @@ impl<'w> Engine<'w> {
             ShedReason::QueueFull => self.metrics.shed_queue_full.inc(),
             ShedReason::DeadlineInfeasible => self.metrics.shed_deadline_infeasible.inc(),
             ShedReason::CircuitOpen => self.metrics.shed_circuit_open.inc(),
+            ShedReason::AnonymityFloor => self.metrics.shed_anonymity_floor.inc(),
         }
         if hedge {
             return Ok(());
         }
         let retryable = req.class == Priority::Batch
             && reason != ShedReason::DeadlineInfeasible
+            && reason != ShedReason::AnonymityFloor
             && self.cfg.retry.may_retry(attempt);
         if retryable {
             let backoff = self.cfg.retry.backoff_ticks(attempt, &mut self.rng);
@@ -653,6 +672,24 @@ impl<'w> Engine<'w> {
         }
         let (exact_ok, tr) = self.breaker.exact_allowed(now);
         self.surface(tr);
+        // Floor narrowing, as in the service: a floored-out exact tier
+        // gets no grant, and an emptied ladder sheds typed (never
+        // retried, so the timer heap stays untouched).
+        let exact_ok =
+            exact_ok && Tier::ExactBfs.anonymity_score() >= q.req.anonymity_floor;
+        if admission::floored_ladder(exact_ok, q.req.anonymity_floor).is_empty() {
+            let mut no_timers = Timers::default();
+            let _ = self.shed(
+                now,
+                q.req,
+                q.attempt,
+                q.hedge,
+                ShedReason::AnonymityFloor,
+                &mut no_timers,
+            );
+            self.idle.push_back(worker);
+            return;
+        }
         let grant = admission::exact_grant(
             remaining,
             self.cfg.reserve_ticks,
@@ -703,6 +740,7 @@ impl<'w> Engine<'w> {
             shed_queue_full: c.shed_queue_full,
             shed_deadline_infeasible: c.shed_deadline,
             shed_circuit_open: c.shed_circuit,
+            shed_anonymity_floor: c.shed_floor,
             deadline_met: c.met,
             deadline_missed: c.missed,
             p50_latency_ticks: self.metrics.latency.quantile(0.5).unwrap_or(0),

@@ -80,6 +80,9 @@ pub enum ShedReason {
     DeadlineInfeasible,
     /// The request requires the exact tier and the circuit is open.
     CircuitOpen,
+    /// No admissible ladder tier meets the request's declared anonymity
+    /// floor — under overload the system degrades latency, never privacy.
+    AnonymityFloor,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -88,6 +91,7 @@ impl std::fmt::Display for ShedReason {
             ShedReason::QueueFull => write!(f, "queue full"),
             ShedReason::DeadlineInfeasible => write!(f, "deadline infeasible"),
             ShedReason::CircuitOpen => write!(f, "circuit open"),
+            ShedReason::AnonymityFloor => write!(f, "anonymity floor"),
         }
     }
 }
@@ -105,6 +109,11 @@ pub struct Request {
     /// Refuse degraded answers: shed with [`ShedReason::CircuitOpen`]
     /// instead of running without an exact grant.
     pub require_exact: bool,
+    /// Minimum measured [`Tier::anonymity_score`] an answering tier must
+    /// have (`0` = no floor). Ladder tiers below the floor are never run
+    /// for this request; if none qualifies it is shed as
+    /// [`ShedReason::AnonymityFloor`].
+    pub anonymity_floor: u32,
 }
 
 /// Service tuning.
@@ -212,6 +221,7 @@ pub struct SvcReport {
     pub shed_queue_full: u64,
     pub shed_deadline_infeasible: u64,
     pub shed_circuit_open: u64,
+    pub shed_anonymity_floor: u64,
     pub deadline_met: u64,
     pub deadline_missed: u64,
     pub p50_latency_ticks: u64,
@@ -226,7 +236,10 @@ pub struct SvcReport {
 impl SvcReport {
     /// Requests shed terminally, all reasons.
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full + self.shed_deadline_infeasible + self.shed_circuit_open
+        self.shed_queue_full
+            + self.shed_deadline_infeasible
+            + self.shed_circuit_open
+            + self.shed_anonymity_floor
     }
 
     /// Completed fraction of offered load.
@@ -352,6 +365,19 @@ impl<'a> Service<'a> {
             self.shed(now, req, attempt, hedge, ShedReason::DeadlineInfeasible);
             return;
         }
+        // Anonymity floor next: if even the full ladder has no tier whose
+        // measured anonymity score meets the floor (or the request insists
+        // on an exact tier the floor rules out), no amount of queueing or
+        // breaker recovery can ever answer it compliantly.
+        if req.anonymity_floor > 0 {
+            let full = admission::floored_ladder(true, req.anonymity_floor);
+            let exact_floored =
+                req.require_exact && Tier::ExactBfs.anonymity_score() < req.anonymity_floor;
+            if full.is_empty() || exact_floored {
+                self.shed(now, req, attempt, hedge, ShedReason::AnonymityFloor);
+                return;
+            }
+        }
         // Exact-only requests are refused outright while the circuit is
         // open: queueing them would only burn their budget.
         if req.require_exact {
@@ -389,13 +415,18 @@ impl<'a> Service<'a> {
             ShedReason::QueueFull => self.metrics.shed_queue_full.inc(),
             ShedReason::DeadlineInfeasible => self.metrics.shed_deadline_infeasible.inc(),
             ShedReason::CircuitOpen => self.metrics.shed_circuit_open.inc(),
+            ShedReason::AnonymityFloor => self.metrics.shed_anonymity_floor.inc(),
         }
         // Hedge copies never settle the id: their primary twin does.
         if hedge {
             return;
         }
+        // Deadline and floor sheds are terminal: a retry re-offers the
+        // same budget (resp. the same floor against the same measured
+        // tier scores), so it can never fare better.
         let retryable = req.class == Priority::Batch
             && reason != ShedReason::DeadlineInfeasible
+            && reason != ShedReason::AnonymityFloor
             && self.cfg.retry.may_retry(attempt);
         if retryable {
             let backoff = self.cfg.retry.backoff_ticks(attempt, &mut self.rng);
@@ -474,6 +505,17 @@ impl<'a> Service<'a> {
 
         let (exact_ok, tr) = self.breaker.exact_allowed(now);
         self.surface(tr);
+        // The anonymity floor narrows the ladder *before* any budget is
+        // granted: a floored-out exact tier gets no grant (and gives no
+        // breaker feedback), exactly as if the breaker had denied it.
+        let exact_ok =
+            exact_ok && Tier::ExactBfs.anonymity_score() >= q.req.anonymity_floor;
+        let ladder = admission::floored_ladder(exact_ok, q.req.anonymity_floor);
+        if ladder.is_empty() {
+            self.shed(now, q.req, q.attempt, q.hedge, ShedReason::AnonymityFloor);
+            self.idle.push_back(worker);
+            return;
+        }
         let grant_candidates = admission::exact_grant(
             remaining,
             self.cfg.reserve_ticks,
@@ -490,7 +532,7 @@ impl<'a> Service<'a> {
             q.req.target,
             self.policy,
             admission::grant_budget(grant_candidates),
-            admission::ladder_for(exact_ok),
+            &ladder,
             &self.core,
             &exec,
         );
@@ -560,6 +602,7 @@ impl<'a> Service<'a> {
         let mut shed_queue_full = 0;
         let mut shed_deadline = 0;
         let mut shed_circuit = 0;
+        let mut shed_floor = 0;
         for t in self.terminal.values() {
             match t {
                 Terminal::Completed { met: m } => {
@@ -574,6 +617,7 @@ impl<'a> Service<'a> {
                 Terminal::Shed(ShedReason::QueueFull) => shed_queue_full += 1,
                 Terminal::Shed(ShedReason::DeadlineInfeasible) => shed_deadline += 1,
                 Terminal::Shed(ShedReason::CircuitOpen) => shed_circuit += 1,
+                Terminal::Shed(ShedReason::AnonymityFloor) => shed_floor += 1,
             }
         }
         SvcReport {
@@ -584,6 +628,7 @@ impl<'a> Service<'a> {
             shed_queue_full,
             shed_deadline_infeasible: shed_deadline,
             shed_circuit_open: shed_circuit,
+            shed_anonymity_floor: shed_floor,
             deadline_met: met,
             deadline_missed: missed,
             p50_latency_ticks: self.metrics.latency.quantile(0.5).unwrap_or(0),
@@ -614,6 +659,7 @@ mod tests {
             class: Priority::Interactive,
             budget,
             require_exact: false,
+            anonymity_floor: 0,
         }
     }
 
@@ -729,6 +775,35 @@ mod tests {
         let snap = svc.registry().snapshot();
         assert!(snap.counter("svc.circuit.opened_total").unwrap() >= 1);
         assert_eq!(snap.gauge("svc.circuit.state"), Some(1));
+    }
+
+    #[test]
+    fn unsatisfiable_floor_is_shed_typed_and_never_answered() {
+        let inst = instance(8);
+        let mut svc = Service::new(&inst, policy(), SvcConfig::default());
+        // A floor above every tier's score can never be answered; one
+        // above only the exact tier's must still complete (degraded).
+        let impossible = Request {
+            anonymity_floor: u32::MAX,
+            ..req(0, 1 << 20)
+        };
+        let exact_only_floored = Request {
+            anonymity_floor: Tier::ExactBfs.anonymity_score() + 1,
+            ..req(1, 1 << 20)
+        };
+        let exact_vs_floor = Request {
+            require_exact: true,
+            anonymity_floor: Tier::ExactBfs.anonymity_score() + 1,
+            ..req(2, 1 << 20)
+        };
+        let report = svc.run(&[(1, impossible), (2, exact_only_floored), (3, exact_vs_floor)]);
+        assert_eq!(report.shed_anonymity_floor, 2);
+        assert_eq!(report.completed, 1);
+        let snap = svc.registry().snapshot();
+        assert_eq!(snap.counter("svc.shed.anonymity_floor_total"), Some(2));
+        // The answered request degraded to a tier meeting its floor.
+        assert_eq!(snap.counter("svc.degraded_total"), Some(1));
+        assert_eq!(snap.counter("core.degrade.answered.exact_bfs_total"), Some(0));
     }
 
     #[test]

@@ -151,6 +151,10 @@ impl WireRequest {
             },
             budget: self.budget,
             require_exact: self.require_exact,
+            // The wire REQUEST carries no floor (the field would change
+            // the golden frame vectors and every recorded trace); wallet
+            // embedders declare floors through the Frontend instead.
+            anonymity_floor: 0,
         }
     }
 }
@@ -194,6 +198,7 @@ impl Message {
                     WireOutcome::Shed(ShedReason::QueueFull) => (1, 0),
                     WireOutcome::Shed(ShedReason::DeadlineInfeasible) => (1, 1),
                     WireOutcome::Shed(ShedReason::CircuitOpen) => (1, 2),
+                    WireOutcome::Shed(ShedReason::AnonymityFloor) => (1, 3),
                     WireOutcome::Failed => (2, 0),
                 };
                 let mut p = Vec::with_capacity(10);
@@ -269,6 +274,7 @@ fn decode_payload(kind: u8, p: &[u8]) -> Result<Message, WireError> {
                 (1, 0) => WireOutcome::Shed(ShedReason::QueueFull),
                 (1, 1) => WireOutcome::Shed(ShedReason::DeadlineInfeasible),
                 (1, 2) => WireOutcome::Shed(ShedReason::CircuitOpen),
+                (1, 3) => WireOutcome::Shed(ShedReason::AnonymityFloor),
                 (2, 0) => WireOutcome::Failed,
                 _ => {
                     return Err(WireError::BadPayload {
@@ -550,6 +556,10 @@ mod tests {
             }),
             Message::Response(WireResponse {
                 id: 7,
+                outcome: WireOutcome::Shed(ShedReason::AnonymityFloor),
+            }),
+            Message::Response(WireResponse {
+                id: 8,
                 outcome: WireOutcome::Failed,
             }),
             Message::Shutdown,

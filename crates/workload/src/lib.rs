@@ -15,6 +15,7 @@
 
 pub mod adversarial;
 pub mod arrivals;
+pub mod attack_trace;
 pub mod chainload;
 pub mod openloop;
 pub mod simulation;
@@ -26,6 +27,7 @@ pub mod trace;
 
 pub use adversarial::BurstSchedule;
 pub use arrivals::{parse_trace, render_trace, ArrivalEvent, TraceError};
+pub use attack_trace::{generate_attack_trace, AttackTraceConfig};
 pub use openloop::{shard_round_robin, OpenLoop};
 pub use real::{monero_snapshot, output_histogram};
 pub use sampler::{measure, measure_framework, MeasuredPoint};

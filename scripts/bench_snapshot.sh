@@ -4,7 +4,7 @@
 # ladder, and the faulted node simulation) plus BENCH_selection.json
 # (the selection perf figure: optimized engines vs. seed references).
 #
-#   scripts/bench_snapshot.sh [OUT] [SEED] [SELECTION_OUT] [OVERLOAD_OUT] [CLUSTER_OUT] [SOAK_OUT] [BYZ_OUT]
+#   scripts/bench_snapshot.sh [OUT] [SEED] [SELECTION_OUT] [OVERLOAD_OUT] [CLUSTER_OUT] [SOAK_OUT] [BYZ_OUT] [ANON_OUT]
 #
 # OUT defaults to BENCH_baseline.json at the repo root; SEED to 42;
 # SELECTION_OUT to BENCH_selection.json; OVERLOAD_OUT (the overload
@@ -14,7 +14,11 @@
 # streaming soak: flat p99 from 10^3 to 10^6 tokens) to BENCH_soak.json;
 # BYZ_OUT (the Byzantine gauntlet: per-strength goodput, bans, offense
 # tallies) to BENCH_byzantine.json, with the per-strength reports in
-# BYZ_report.txt alongside it.
+# BYZ_report.txt alongside it; ANON_OUT (the adversary replay grid:
+# effective anonymity per degrade tier x sampling mode x adversary
+# strength, plus the 64-seed floor-gated admission sweep) to
+# BENCH_anonymity.json, with the per-cell report in ANON_report.txt
+# alongside it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +29,7 @@ OVERLOAD_OUT="${4:-BENCH_overload.json}"
 CLUSTER_OUT="${5:-BENCH_cluster.json}"
 SOAK_OUT="${6:-BENCH_soak.json}"
 BYZ_OUT="${7:-BENCH_byzantine.json}"
+ANON_OUT="${8:-BENCH_anonymity.json}"
 
 cargo build --release -q -p dams-bench --bin dams-cli
 ./target/release/dams-cli bench --out "$OUT" --seed "$SEED" \
@@ -42,6 +47,12 @@ cargo build --release -q -p dams-bench --bin dams-cli
 # the written rows independently.
 ./target/release/dams-cli cluster-sim --byzantine --out "$BYZ_OUT" \
     --report BYZ_report.txt --honest 4 --max-f 3 --seed "$SEED"
+# The anonymity bench exits non-zero itself unless its own gate passes
+# (declared tier scores backed, attack-aware never worse, no request
+# answered below its floor); the python gate below re-checks the
+# written rows independently.
+./target/release/dams-cli bench --anonymity --out "$ANON_OUT" \
+    --report ANON_report.txt --seed "$SEED"
 
 # Well-formedness gate: the snapshot must parse as JSON and cover the
 # BFS, Progressive, Game-theoretic, and degrade-tier metric families.
@@ -269,4 +280,69 @@ if not 0.9 <= ratio <= 1.1:
              f"(ratio {ratio:.3f}) outside the 10% gate")
 print(f"{path}: {len(rows)} strengths defended, "
       f"f=1/f=0 goodput ratio {ratio:.3f} within 10%")
+EOF
+
+# Anonymity gate: the replay grid must cover every degrade tier at every
+# adversary strength under both sampling modes, attack-aware sampling
+# must never lose to baseline at equal (tier, strength) and must win in
+# aggregate, every declared Tier::anonymity_score must be backed by the
+# measured effective anonymity, and the floor sweep must have answered
+# nothing below its declared floor (violations shed typed).
+python3 - "$ANON_OUT" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+if not doc.get("replay_identical"):
+    sys.exit(f"{path}: adversary replay was not byte-identical")
+
+tiers = doc.get("tiers", [])
+if len(tiers) < 3:
+    sys.exit(f"{path}: expected all three ladder tiers, got {tiers}")
+for t in tiers:
+    if t["measured_score"] < t["declared_score"]:
+        sys.exit(f"{path}: tier {t['tier']} declares score "
+                 f"{t['declared_score']} but measures {t['measured_score']}")
+    if t["declared_score"] < 1:
+        sys.exit(f"{path}: tier {t['tier']} declares a zero score")
+
+rows = doc.get("rows", [])
+strengths = sorted({r["strength"] for r in rows})
+modes = sorted({r["mode"] for r in rows})
+if len(rows) != len(tiers) * len(modes) * len(strengths) or len(strengths) < 4:
+    sys.exit(f"{path}: replay grid incomplete: {len(rows)} rows, "
+             f"strengths {strengths}, modes {modes}")
+cells = {(r["tier"], r["mode"], r["strength"]): r for r in rows}
+for t in tiers:
+    for f in strengths:
+        base = cells.get((t["tier"], "baseline", f))
+        aware = cells.get((t["tier"], "attack-aware", f))
+        if base is None or aware is None:
+            sys.exit(f"{path}: missing cell ({t['tier']}, f={f})")
+        if aware["deanonymized_fraction"] > base["deanonymized_fraction"]:
+            sys.exit(f"{path}: attack-aware worse than baseline at "
+                     f"({t['tier']}, f={f}): {aware['deanonymized_fraction']:.4f}"
+                     f" > {base['deanonymized_fraction']:.4f}")
+base_total = doc.get("deanonymized_baseline_total", 0)
+aware_total = doc.get("deanonymized_attack_aware_total", base_total)
+if aware_total >= base_total:
+    sys.exit(f"{path}: attack-aware aggregate {aware_total} does not beat "
+             f"baseline {base_total}")
+
+sweep = doc.get("floor_sweep", {})
+if sweep.get("answered_below_floor", 1) != 0:
+    sys.exit(f"{path}: {sweep.get('answered_below_floor')} requests were "
+             "answered below their declared floor")
+if sweep.get("answered", 0) == 0:
+    sys.exit(f"{path}: floor sweep answered nothing")
+if sweep.get("shed_anonymity_floor", 0) == 0 \
+        or sweep.get("service_shed_anonymity_floor", 0) == 0:
+    sys.exit(f"{path}: floor sweep never exercised the typed floor shed")
+if not sweep.get("service_accounting_ok"):
+    sys.exit(f"{path}: floored overload accounting broke")
+print(f"{path}: {len(rows)} cells, attack-aware {aware_total} vs baseline "
+      f"{base_total}, floor sweep answered {sweep['answered']} with 0 below "
+      "floor — privacy never degraded")
 EOF

@@ -138,6 +138,24 @@ cli serve --real --seed 42 --loads 4 --transport tcp \
 grep -q "verdict: MATCH" "$tmpdir/diff_report_tcp.txt"
 echo "loopback-TCP transport matches the model"
 
+echo "== anonymity under attack =="
+# Adversary-replay gate: the seeded attack suite must reach its PASS
+# verdict — every declared Tier::anonymity_score backed by the measured
+# effective anonymity, attack-aware sampling never worse than baseline
+# at equal (tier, strength), and no floored request answered below its
+# floor (violations shed as the typed AnonymityFloor). The report lands
+# at the repo root for CI artifact upload; a second run must replay
+# byte-identically.
+cli bench --anonymity --seed 42 \
+  --out "$tmpdir/bench_anonymity_gate.json" --report ANON_report.txt
+grep -q "verdict: PASS" ANON_report.txt
+cli bench --anonymity --seed 42 \
+  --out "$tmpdir/bench_anonymity_2.json" \
+  --report "$tmpdir/anon_report_2.txt" > /dev/null
+cmp ANON_report.txt "$tmpdir/anon_report_2.txt"
+cmp "$tmpdir/bench_anonymity_gate.json" "$tmpdir/bench_anonymity_2.json"
+echo "adversary suite defended; replay byte-identical"
+
 echo "== bench snapshot =="
 ./scripts/bench_snapshot.sh BENCH_baseline.json 42
 
